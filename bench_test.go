@@ -1,0 +1,473 @@
+// Package rtad's benchmark harness regenerates every table and figure of
+// the paper's evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkTableI   — synthesized results of RTAD (Table I)
+//	BenchmarkTableII  — trimming result of ML-MIAOW (Table II)
+//	BenchmarkFig6     — performance overhead of RTAD (Fig 6)
+//	BenchmarkFig7     — data transfer latency of RTAD (Fig 7)
+//	BenchmarkFig8     — latencies of anomaly detection (Fig 8)
+//
+// Each prints the regenerated rows/series once and reports the headline
+// quantities as benchmark metrics. Ablation benchmarks then sweep the
+// design choices DESIGN.md calls out (CU count, IGM stride, MCM FIFO depth,
+// PTM drain threshold), and micro-benchmarks measure the hot simulation
+// paths themselves.
+package rtad
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rtad/internal/core"
+	"rtad/internal/cpu"
+	"rtad/internal/experiments"
+	"rtad/internal/gpu"
+	"rtad/internal/kernels"
+	"rtad/internal/ml"
+	"rtad/internal/ptm"
+	"rtad/internal/reconstruct"
+	"rtad/internal/sim"
+	"rtad/internal/workload"
+)
+
+var printOnce sync.Map
+
+// show prints an experiment rendering once per benchmark name.
+func show(name, s string) {
+	if _, done := printOnce.LoadOrStore(name, true); !done {
+		fmt.Printf("\n==== %s ====\n%s\n", name, s)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	var last *experiments.TableIIResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableII(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	show("Table II — trimming result of ML-MIAOW", last.String())
+	b.ReportMetric(100*last.Trim.MLMIAOW.Reduction(last.Trim.MIAOW), "%trim-mlmiaow")
+	b.ReportMetric(100*last.Trim.MIAOW20.Reduction(last.Trim.MIAOW), "%trim-miaow2.0")
+	b.ReportMetric(last.Trim.PerfPerAreaVsMIAOW20(), "x-perf/area")
+}
+
+func BenchmarkTableI(b *testing.B) {
+	var last *experiments.TableIResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableI(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	show("Table I — synthesized results of RTAD", last.String())
+	b.ReportMetric(float64(last.Table.Total.LUTs), "LUTs")
+	b.ReportMetric(float64(last.Table.Total.Gates), "gates")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	var last *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	show("Fig 6 — performance overhead of RTAD", last.String())
+	b.ReportMetric(100*last.Geomean[cpu.ModeRTAD], "%rtad")
+	b.ReportMetric(100*last.Geomean[cpu.ModeSWAll], "%sw_all")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	var last *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(experiments.Options{}, "401.bzip2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	show("Fig 7 — data transfer latency of RTAD", last.String())
+	b.ReportMetric(last.SW.Total().Microseconds(), "us-sw")
+	b.ReportMetric(last.RTAD.Total().Microseconds(), "us-rtad")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	var last *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	show("Fig 8 — latencies of anomaly detection", last.String())
+	b.ReportMetric(last.MeanSpeedup, "x-mean-speedup")
+	b.ReportMetric(experiments.MeanLatency(last.ELM, true).Microseconds(), "us-elm-mlmiaow")
+	b.ReportMetric(experiments.MeanLatency(last.LSTM, true).Microseconds(), "us-lstm-mlmiaow")
+}
+
+// ------------------------------------------------------------- ablations
+
+// ablationDeployment trains one LSTM deployment shared by the sweeps.
+var (
+	ablDep  *core.Deployment
+	ablOnce sync.Once
+	ablErr  error
+)
+
+func lstmDeployment(b *testing.B) *core.Deployment {
+	b.Helper()
+	ablOnce.Do(func() {
+		p, _ := workload.ByName("458.sjeng")
+		cfg := core.DefaultTrainConfig(p, core.ModelLSTM)
+		ablDep, ablErr = core.Train(cfg)
+	})
+	if ablErr != nil {
+		b.Fatal(ablErr)
+	}
+	return ablDep
+}
+
+// BenchmarkAblationCUs sweeps the compute-unit count: the area saved by
+// trimming buys CUs, and this shows what each CU is worth in judgment
+// latency (diminishing past the wavefront parallelism of the kernels).
+func BenchmarkAblationCUs(b *testing.B) {
+	dep := lstmDeployment(b)
+	for _, cus := range []int{1, 2, 3, 5, 8} {
+		b.Run(fmt.Sprintf("cus=%d", cus), func(b *testing.B) {
+			var lat sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunDetection(dep, core.PipelineConfig{CUs: cus},
+					core.AttackSpec{Seed: 3}, 4_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = res.Latency
+			}
+			b.ReportMetric(lat.Microseconds(), "us-latency")
+		})
+	}
+}
+
+// BenchmarkAblationStride sweeps the IGM emission stride: small strides
+// oversubscribe the engine (queueing, then FIFO loss), large strides
+// sample behaviour more coarsely.
+func BenchmarkAblationStride(b *testing.B) {
+	dep := lstmDeployment(b)
+	for _, stride := range []int{512, 1024, 2048, 3840, 8192} {
+		b.Run(fmt.Sprintf("stride=%d", stride), func(b *testing.B) {
+			var lat sim.Time
+			var drops int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunDetection(dep,
+					core.PipelineConfig{CUs: 5, Stride: stride},
+					core.AttackSpec{Seed: 3}, 4_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat, drops = res.Latency, res.Dropped
+			}
+			b.ReportMetric(lat.Microseconds(), "us-latency")
+			b.ReportMetric(float64(drops), "drops")
+		})
+	}
+}
+
+// BenchmarkAblationFIFODepth sweeps the MCM vector FIFO: the paper's
+// overflow discussion (Fig 8) is a statement about this buffer.
+func BenchmarkAblationFIFODepth(b *testing.B) {
+	dep := lstmDeployment(b)
+	for _, depth := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var drops int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunDetection(dep,
+					core.PipelineConfig{CUs: 1, Stride: 1024, FIFODepth: depth},
+					core.AttackSpec{Seed: 3}, 3_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				drops = res.Dropped
+			}
+			b.ReportMetric(float64(drops), "drops")
+		})
+	}
+}
+
+// BenchmarkAblationDrainThreshold sweeps the PTM formatter hold-back, the
+// dominant term of Fig 7's RTAD step (1).
+func BenchmarkAblationDrainThreshold(b *testing.B) {
+	dep := lstmDeployment(b)
+	for _, thr := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("bytes=%d", thr), func(b *testing.B) {
+			var read sim.Time
+			for i := 0; i < b.N; i++ {
+				tb, _, err := core.MeasureRTADTransfer(dep,
+					core.PipelineConfig{CUs: 5, Stride: 64, DrainThreshold: thr}, 600_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				read = tb.Read
+			}
+			b.ReportMetric(read.Microseconds(), "us-read-stage")
+		})
+	}
+}
+
+// -------------------------------------------------------- micro-benchmarks
+
+func BenchmarkCPUSimulation(b *testing.B) {
+	p, _ := workload.ByName("458.sjeng")
+	prog, err := p.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	c := cpu.New(prog, cpu.Config{})
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "instrs/op")
+}
+
+func BenchmarkPTMEncode(b *testing.B) {
+	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: true})
+	rng := rand.New(rand.NewSource(1))
+	evs := make([]cpu.BranchEvent, 1024)
+	for i := range evs {
+		evs[i] = cpu.BranchEvent{
+			Cycle: int64(i * 10), PC: 0x8000,
+			Target: 0x8000 + uint32(rng.Intn(1<<12))&^3,
+			Kind:   cpu.KindDirect, Taken: rng.Intn(4) != 0,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(evs[i%len(evs)])
+	}
+}
+
+func BenchmarkPTMDecode(b *testing.B) {
+	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: true})
+	var stream []byte
+	stream = append(stream, enc.Start(0x8000)...)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4096; i++ {
+		stream = append(stream, enc.Encode(cpu.BranchEvent{
+			Target: 0x8000 + uint32(rng.Intn(1<<12))&^3, Kind: cpu.KindDirect, Taken: true,
+		})...)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := ptm.NewStreamDecoder()
+		for _, by := range stream {
+			dec.Feed(by)
+		}
+	}
+}
+
+func trainedELMEngine(b *testing.B, cus int) *kernels.ELMEngine {
+	b.Helper()
+	cfg := ml.DefaultELMConfig()
+	rng := rand.New(rand.NewSource(4))
+	windows := make([][]int32, 400)
+	for i := range windows {
+		w := make([]int32, cfg.Window)
+		for j := range w {
+			w[j] = int32(rng.Intn(cfg.Vocab))
+		}
+		windows[i] = w
+	}
+	m, err := ml.TrainELM(cfg, windows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := kernels.NewELMEngine(gpu.NewDevice(kernels.ELMMemEnd, cus), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func BenchmarkELMInferenceGPU(b *testing.B) {
+	eng := trainedELMEngine(b, 5)
+	w := make([]int32, kernels.ELMWindow)
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		_, c, err := eng.Infer(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = c
+	}
+	b.ReportMetric(float64(cycles), "gpu-cycles")
+	b.ReportMetric(sim.GPUClock.Duration(cycles).Microseconds(), "us-sim-latency")
+}
+
+func BenchmarkLSTMTrainingStep(b *testing.B) {
+	cfg := ml.DefaultLSTMConfig()
+	cfg.Epochs = 1
+	rng := rand.New(rand.NewSource(5))
+	windows := make([][]int32, cfg.Truncate*4)
+	for i := range windows {
+		w := make([]int32, cfg.Window)
+		for j := range w {
+			w[j] = int32(rng.Intn(cfg.Vocab))
+		}
+		windows[i] = w
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainLSTM(cfg, windows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	p, _ := workload.ByName("403.gcc")
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationELMvsMLP measures the paper's "lightweight" claim: the
+// ELM's closed-form ridge solve against epochs of MLP backprop at the same
+// topology and comparable accuracy.
+func BenchmarkAblationELMvsMLP(b *testing.B) {
+	cfg := ml.DefaultELMConfig()
+	rng := rand.New(rand.NewSource(8))
+	mk := func(n int, seed int64) [][]int32 {
+		r := rand.New(rand.NewSource(seed))
+		succ := make([][]int32, cfg.Vocab)
+		for c := range succ {
+			succ[c] = []int32{int32((c + 1) % cfg.Vocab), int32((c + 1) % cfg.Vocab), int32(r.Intn(cfg.Vocab))}
+		}
+		cur := int32(0)
+		stream := make([]int32, n+cfg.Window)
+		for i := range stream {
+			stream[i] = cur
+			cur = succ[cur][r.Intn(3)]
+		}
+		out := make([][]int32, n)
+		for i := range out {
+			out[i] = stream[i : i+cfg.Window]
+		}
+		return out
+	}
+	_ = rng
+	train := mk(3000, 1)
+	test := mk(600, 2)
+
+	b.Run("elm-ridge", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			m, err := ml.TrainELM(cfg, train)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = m.Accuracy(test)
+		}
+		b.ReportMetric(acc, "top1-accuracy")
+	})
+	b.Run("mlp-backprop", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			m, err := ml.TrainMLP(cfg, train, 8, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = m.Accuracy(test)
+		}
+		b.ReportMetric(acc, "top1-accuracy")
+	})
+}
+
+// BenchmarkAblationAttackStyle contrasts the paper's random-insertion
+// emulation with mimicry segment replay on the same deployment: identical
+// hardware latency, very different detectability.
+func BenchmarkAblationAttackStyle(b *testing.B) {
+	dep := lstmDeployment(b)
+	for _, tc := range []struct {
+		name    string
+		mimicry bool
+	}{{"random-insertion", false}, {"mimicry-replay", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			detected := 0
+			var lat sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunDetection(dep, core.PipelineConfig{CUs: 5},
+					core.AttackSpec{Seed: int64(i + 1), Mimicry: tc.mimicry}, 4_000_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Detected {
+					detected++
+				}
+				lat = res.Latency
+			}
+			b.ReportMetric(float64(detected)/float64(b.N), "detect-rate")
+			b.ReportMetric(lat.Microseconds(), "us-latency")
+		})
+	}
+}
+
+// BenchmarkTraceBandwidth compares the trace cost of the prototype's
+// branch-broadcast mode against CoreSight's atom mode (whose stream the
+// reconstruct package decodes back to the full branch stream using the
+// program image).
+func BenchmarkTraceBandwidth(b *testing.B) {
+	p, _ := workload.ByName("456.hmmer")
+	prog, err := p.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name      string
+		broadcast bool
+	}{{"broadcast", true}, {"atom", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var perBranch float64
+			for i := 0; i < b.N; i++ {
+				enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: mode.broadcast})
+				var stream []byte
+				var events int64
+				sink := cpu.SinkFunc(func(ev cpu.BranchEvent) int64 {
+					events++
+					stream = append(stream, enc.Encode(ev)...)
+					return 0
+				})
+				c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: sink})
+				if _, err := c.Run(100_000); err != nil {
+					b.Fatal(err)
+				}
+				stream = append(stream, enc.Flush()...)
+				if !mode.broadcast {
+					// Prove the compressed stream still carries everything.
+					got, _, err := reconstruct.DecodeTrace(prog, stream)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if int64(len(got)) != events {
+						b.Fatalf("reconstruction lost events: %d vs %d", len(got), events)
+					}
+				}
+				perBranch = float64(len(stream)) / float64(events)
+			}
+			b.ReportMetric(perBranch, "bytes/branch")
+		})
+	}
+}

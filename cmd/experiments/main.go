@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's evaluation: Table I, Table
+// II, Fig 6, Fig 7 and Fig 8, printing each in a text layout matching the
+// published one. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig8 -benchmarks sjeng,omnetpp -detect 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rtad/internal/experiments"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		table1 = flag.Bool("table1", false, "Table I: synthesized results")
+		table2 = flag.Bool("table2", false, "Table II: trimming result")
+		fig6   = flag.Bool("fig6", false, "Fig 6: performance overhead")
+		fig7   = flag.Bool("fig7", false, "Fig 7: data transfer latency")
+		fig8   = flag.Bool("fig8", false, "Fig 8: detection latency")
+
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 12)")
+		overhead   = flag.Int64("overhead", 0, "Fig 6 instruction budget per run")
+		detect     = flag.Int64("detect", 0, "Fig 8 instruction budget per detection run")
+		fig7Bench  = flag.String("fig7bench", "401.bzip2", "benchmark for Fig 7")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{OverheadInstr: *overhead, DetectInstr: *detect}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if !(*all || *table1 || *table2 || *fig6 || *fig7 || *fig8) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, enabled bool, f func() (fmt.Stringer, error)) {
+		if !*all && !enabled {
+			return
+		}
+		start := time.Now()
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), res)
+	}
+
+	run("Table II — trimming result of ML-MIAOW", *table2, func() (fmt.Stringer, error) {
+		return experiments.TableII(opts)
+	})
+	run("Table I — synthesized results of RTAD", *table1, func() (fmt.Stringer, error) {
+		return experiments.TableI(opts)
+	})
+	run("Fig 6 — performance overhead of RTAD", *fig6, func() (fmt.Stringer, error) {
+		return experiments.Fig6(opts)
+	})
+	run("Fig 7 — data transfer latency of RTAD", *fig7, func() (fmt.Stringer, error) {
+		return experiments.Fig7(opts, *fig7Bench)
+	})
+	run("Fig 8 — latencies of anomaly detection", *fig8, func() (fmt.Stringer, error) {
+		return experiments.Fig8(opts)
+	})
+}

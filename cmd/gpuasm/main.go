@@ -1,0 +1,137 @@
+// Command gpuasm works with ML-MIAOW kernels directly: list the shipped
+// inference-engine kernels, disassemble one with per-instruction cycle
+// costs and HDL-block usage, or assemble and run a kernel from a file with
+// simple memory initialisation — a standalone view of the compute engine
+// for people extending RTAD with their own models.
+//
+// Usage:
+//
+//	gpuasm -list
+//	gpuasm -disasm lstm_gate
+//	gpuasm -run mykernel.s -waves 2 -sargs 0,64,128 -dump 128:8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rtad/internal/gpu"
+	"rtad/internal/kernels"
+	"rtad/internal/sim"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list the shipped inference kernels")
+		disasm = flag.String("disasm", "", "disassemble a shipped kernel by name")
+		run    = flag.String("run", "", "assemble and run a kernel source file")
+		waves  = flag.Int("waves", 1, "wavefronts to dispatch")
+		cus    = flag.Int("cus", 1, "compute units")
+		sargs  = flag.String("sargs", "", "comma-separated initial SGPR values (s0..)")
+		dump   = flag.String("dump", "", "memory range to print after the run, addr:words")
+		mem    = flag.Int("mem", 1<<16, "device memory in words")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		srcs := kernels.Sources()
+		names := make([]string, 0, len(srcs))
+		for n := range srcs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			k := gpu.MustAssemble(n, srcs[n])
+			var cycles int64
+			for _, ins := range k.Code {
+				cycles += ins.Op.Cycles()
+			}
+			fmt.Printf("%-12s %3d instructions, straight-line cost %d cycles (%v at 50 MHz)\n",
+				n, len(k.Code), cycles, sim.GPUClock.Duration(cycles))
+		}
+
+	case *disasm != "":
+		src, ok := kernels.Sources()[*disasm]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q (try -list)\n", *disasm)
+			os.Exit(2)
+		}
+		k := gpu.MustAssemble(*disasm, src)
+		labels := map[int][]string{}
+		for name, pc := range k.Labels {
+			labels[pc] = append(labels[pc], name)
+		}
+		for pc, ins := range k.Code {
+			for _, l := range labels[pc] {
+				fmt.Printf("%s:\n", l)
+			}
+			blocks := make([]string, 0, 3)
+			for _, b := range gpu.OpBlocks(ins.Op) {
+				blocks = append(blocks, b.String())
+			}
+			fmt.Printf("  %3d  %-34s ; %d cyc  [%s]\n",
+				pc, ins.String(), ins.Op.Cycles(), strings.Join(blocks, " "))
+		}
+
+	case *run != "":
+		src, err := os.ReadFile(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		k, err := gpu.Assemble(*run, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dev := gpu.NewDevice(*mem, *cus)
+		var args []uint32
+		if *sargs != "" {
+			for _, f := range strings.Split(*sargs, ",") {
+				v, err := strconv.ParseUint(strings.TrimSpace(f), 0, 32)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad sarg %q\n", f)
+					os.Exit(2)
+				}
+				args = append(args, uint32(v))
+			}
+		}
+		res, err := dev.Run(gpu.Dispatch{Kernel: k, Wavefronts: *waves, SArgs: args})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d wavefront(s) on %d CU(s): %d instructions, %d cycles (%v at 50 MHz)\n",
+			*waves, *cus, res.Instructions, res.Cycles, sim.GPUClock.Duration(res.Cycles))
+		if *dump != "" {
+			parts := strings.SplitN(*dump, ":", 2)
+			if len(parts) != 2 {
+				fmt.Fprintln(os.Stderr, "dump format is addr:words")
+				os.Exit(2)
+			}
+			addr, err1 := strconv.ParseUint(parts[0], 0, 32)
+			n, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(os.Stderr, "bad dump range")
+				os.Exit(2)
+			}
+			words, err := dev.ReadWords(uint32(addr), n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for i, w := range words {
+				fmt.Printf("mem[%d] = %#08x (%d)\n", int(addr)+i, w, int32(w))
+			}
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,38 @@
+// Command synthest prints Table I: the estimated FPGA resources (LUTs, FFs,
+// BRAMs) and 45 nm-style gate counts for every RTAD submodule, with the
+// ML-MIAOW footprint taken from the trimming flow's kept-block set.
+//
+// Usage:
+//
+//	synthest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtad/internal/experiments"
+	"rtad/internal/synth"
+)
+
+func main() {
+	netlist := flag.Bool("netlist", false, "also print each module's primitive inventory")
+	flag.Parse()
+	res, err := experiments.TableI(experiments.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+	if *netlist {
+		fmt.Println("\nprimitive inventories:")
+		for _, n := range []*synth.Netlist{
+			synth.TraceAnalyzer(), synth.P2S(), synth.InputVectorGenerator(),
+			synth.InternalFIFO(), synth.MLMIAOWDriver(), synth.ControlFSM(),
+			synth.InterruptManager(),
+		} {
+			fmt.Print(n.Describe())
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command traceanalyze inspects a captured trace file (see cmd/tracegen
+// -o): it decodes the packet stream — reconstructing the full branch
+// stream through the program image when the capture was made in atom
+// mode — and reports the dynamic control-flow statistics a model designer
+// needs: event mix, branch densities, the hottest targets (IGM table
+// candidates) and trace-bandwidth figures.
+//
+// Usage:
+//
+//	tracegen -bench gcc -instr 200000 -o gcc.trc
+//	traceanalyze gcc.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rtad/internal/cpu"
+	"rtad/internal/ptm"
+	"rtad/internal/reconstruct"
+	"rtad/internal/tracefile"
+)
+
+func main() {
+	top := flag.Int("top", 16, "hot targets to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-top N] <file.trc>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tf, err := tracefile.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mode := "atom (reconstructed)"
+	if tf.Broadcast {
+		mode = "branch-broadcast"
+	}
+	fmt.Printf("trace: %d bytes, %s capture, program %d words at %#x\n",
+		len(tf.Stream), mode, len(tf.Program.Words), tf.Program.Base)
+
+	var branches []reconstruct.Branch
+	if tf.Broadcast {
+		pkts, errs := ptm.DecodeAll(tf.Stream)
+		if errs != 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d packet errors\n", errs)
+		}
+		for _, pkt := range pkts {
+			if pkt.Type != ptm.PktBranch {
+				continue
+			}
+			kind := cpu.KindDirect
+			if pkt.Exc {
+				kind = pkt.Kind
+			}
+			branches = append(branches, reconstruct.Branch{
+				Target: pkt.Addr, Kind: kind, Taken: true,
+			})
+		}
+	} else {
+		var stats reconstruct.Stats
+		branches, stats, err = reconstruct.DecodeTrace(tf.Program, tf.Stream)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("reconstruction: %d atoms, %d address packets, %d resyncs\n",
+			stats.Atoms, stats.Addresses, stats.Resyncs)
+	}
+	if len(branches) == 0 {
+		fmt.Println("no branch events in trace")
+		return
+	}
+
+	var taken, syscalls, indirect int
+	targets := map[uint32]int{}
+	for _, b := range branches {
+		if !b.Taken {
+			continue
+		}
+		taken++
+		switch {
+		case b.Kind == cpu.KindSyscall:
+			syscalls++
+		case b.Kind.IsIndirectKind():
+			indirect++
+		}
+		targets[b.Target]++
+	}
+	fmt.Printf("events: %d total, %d taken, %d indirect-class, %d syscalls\n",
+		len(branches), taken, indirect, syscalls)
+	fmt.Printf("bandwidth: %.2f trace bytes per branch event\n",
+		float64(len(tf.Stream))/float64(len(branches)))
+
+	type tc struct {
+		addr uint32
+		n    int
+	}
+	hot := make([]tc, 0, len(targets))
+	for a, n := range targets {
+		hot = append(hot, tc{a, n})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].addr < hot[j].addr
+	})
+	fmt.Printf("\nhottest %d targets (IGM address-map candidates):\n", *top)
+	for i, h := range hot {
+		if i >= *top {
+			break
+		}
+		label := ""
+		if h.addr >= cpu.SyscallBase {
+			label = fmt.Sprintf("  (syscall %d)", cpu.SyscallNumber(h.addr))
+		}
+		fmt.Printf("  %#010x  %6d hits%s\n", h.addr, h.n, label)
+	}
+	covered := 0
+	for i, h := range hot {
+		if i >= 64 {
+			break
+		}
+		covered += h.n
+	}
+	fmt.Printf("\ndistinct targets: %d (a 64-entry vocabulary covers %.1f%% of taken events)\n",
+		len(hot), 100*float64(covered)/float64(taken))
+}

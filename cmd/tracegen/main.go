@@ -1,0 +1,115 @@
+// Command tracegen runs a benchmark on the host-CPU model with the
+// CoreSight PTM enabled and prints the resulting trace: either the raw
+// packet bytes (hex) or the decoded packet listing, optionally after
+// TPIU framing/deframing — a debugging view of the data IGM consumes.
+//
+// Usage:
+//
+//	tracegen -bench gcc -instr 20000 -decode
+//	tracegen -bench omnetpp -hex | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtad/internal/cpu"
+	"rtad/internal/ptm"
+	"rtad/internal/tracefile"
+	"rtad/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "403.gcc", "benchmark to trace")
+		instr     = flag.Int64("instr", 20_000, "instructions to execute")
+		hex       = flag.Bool("hex", false, "dump raw packet bytes")
+		decode    = flag.Bool("decode", true, "print decoded packets")
+		limit     = flag.Int("limit", 200, "max packets/lines to print (0 = all)")
+		out       = flag.String("o", "", "write a trace container for cmd/traceanalyze")
+		broadcast = flag.Bool("broadcast", true, "branch-broadcast capture (false = atom mode)")
+	)
+	flag.Parse()
+
+	p, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	prog, err := p.Generate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: *broadcast})
+	var stream []byte
+	sink := cpu.SinkFunc(func(ev cpu.BranchEvent) int64 {
+		stream = append(stream, enc.Encode(ev)...)
+		return 0
+	})
+	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: sink})
+	if _, err := c.Run(*instr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stream = append(stream, enc.Flush()...)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := tracefile.Write(f, &tracefile.File{Broadcast: *broadcast, Program: prog, Stream: stream})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+	st := c.Stats()
+	fmt.Printf("%s: %d instructions, %d branch events, %d trace bytes (%.2f B/branch)\n",
+		p.Name, st.Instret, st.Branches, len(stream), float64(len(stream))/float64(st.Branches))
+
+	if *hex {
+		for i := 0; i < len(stream); i += 16 {
+			if *limit > 0 && i/16 >= *limit {
+				fmt.Println("...")
+				break
+			}
+			end := i + 16
+			if end > len(stream) {
+				end = len(stream)
+			}
+			fmt.Printf("%06x  % x\n", i, stream[i:end])
+		}
+	}
+	if *decode {
+		pkts, errs := ptm.DecodeAll(stream)
+		fmt.Printf("%d packets, %d protocol errors\n", len(pkts), errs)
+		for i, pkt := range pkts {
+			if *limit > 0 && i >= *limit {
+				fmt.Println("...")
+				break
+			}
+			switch pkt.Type {
+			case ptm.PktBranch:
+				if pkt.Exc {
+					fmt.Printf("%6d  branch   %#010x  exception kind=%v\n", i, pkt.Addr, pkt.Kind)
+				} else {
+					fmt.Printf("%6d  branch   %#010x\n", i, pkt.Addr)
+				}
+			case ptm.PktAtoms:
+				fmt.Printf("%6d  atoms    %v\n", i, pkt.Atoms)
+			case ptm.PktISync:
+				fmt.Printf("%6d  i-sync   %#010x\n", i, pkt.Addr)
+			default:
+				fmt.Printf("%6d  %v\n", i, pkt.Type)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command trimtool runs the Fig 4 trimming flow end to end: it trains the
+// two deployed ML models, simulates their inference kernels on the full
+// MIAOW-style core with HDL-block coverage enabled, merges the coverage,
+// trims the uncovered blocks, verifies the trimmed core bit-for-bit, and
+// prints Table II plus the per-block disposition.
+//
+// Usage:
+//
+//	trimtool
+//	trimtool -blocks     # also list every HDL block with its fate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtad/internal/experiments"
+	"rtad/internal/gpu"
+)
+
+func main() {
+	blocks := flag.Bool("blocks", false, "list per-block disposition")
+	flag.Parse()
+
+	res, err := experiments.TableII(experiments.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+
+	if *blocks {
+		fmt.Println("\nper-block disposition:")
+		trimmed := map[gpu.BlockID]bool{}
+		for _, b := range res.Trim.Trimmed {
+			trimmed[b] = true
+		}
+		for _, b := range gpu.Blocks() {
+			fate := "keep"
+			if trimmed[b.ID] {
+				fate = "TRIM"
+			}
+			fmt.Printf("  %-22s %6d LUTs %6d FFs  %s\n", b.Name, b.LUTs, b.FFs, fate)
+		}
+	}
+}

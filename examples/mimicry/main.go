@@ -1,0 +1,56 @@
+// Mimicry: the attack model matters. The paper emulates attacks by
+// "randomly inserting legitimate branch data in normal traces"; the LSTM
+// branch models it builds on ([8]) are explicitly motivated by *mimicry
+// resistance* — attackers who replay whole legitimate code paths instead
+// of random gadgets. This example runs both attack styles against the same
+// deployment and compares the detector's smoothed scores: random insertion
+// breaks sequential structure everywhere, segment replay only at the two
+// splice points.
+//
+//	go run ./examples/mimicry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtad/internal/core"
+	"rtad/internal/ml"
+	"rtad/internal/workload"
+)
+
+func main() {
+	bench, _ := workload.ByName("403.gcc")
+	dep, err := core.Train(core.DefaultTrainConfig(bench, core.ModelLSTM))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: LSTM on %s, threshold %.3f\n\n", bench.Name, dep.LSTM.Threshold)
+
+	for _, tc := range []struct {
+		name    string
+		mimicry bool
+	}{
+		{"random insertion (paper's emulation)", false},
+		{"mimicry segment replay", true},
+	} {
+		res, err := core.RunDetection(dep,
+			core.PipelineConfig{CUs: 5},
+			core.AttackSpec{Seed: 11, Mimicry: tc.mimicry},
+			4_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Peak smoothed score over the post-attack window.
+		peak := int32(0)
+		if res.First != nil && res.First.Rec.Judgment.EwmaQ > peak {
+			peak = res.First.Rec.Judgment.EwmaQ
+		}
+		fmt.Printf("%-38s detected=%-5v judgment latency=%v first-ewma=%.3f\n",
+			tc.name, res.Detected, res.Latency, ml.FromQ(res.First.Rec.Judgment.EwmaQ))
+	}
+	fmt.Println("\nthe judgment latency (the hardware quantity of Fig 8) is identical for")
+	fmt.Println("both: the pipeline does not care what the data means. what changes is")
+	fmt.Println("whether the model's score crosses the threshold — mimicry is the ML")
+	fmt.Println("problem, real-time delivery is the architecture problem RTAD solves.")
+}

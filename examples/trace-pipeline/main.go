@@ -1,0 +1,81 @@
+// Trace pipeline walkthrough: follows a handful of branches through every
+// hardware stage of Fig 1 — PTM packetisation, the PTM output port's
+// hold-back FIFO, TPIU framing, and IGM's trace analyzer / P2S / input
+// vector generator — printing what each stage produces and when.
+//
+//	go run ./examples/trace-pipeline
+package main
+
+import (
+	"fmt"
+
+	"rtad/internal/cpu"
+	"rtad/internal/igm"
+	"rtad/internal/ptm"
+	"rtad/internal/sim"
+	"rtad/internal/tpiu"
+)
+
+func main() {
+	// A tiny hand-written branch history: three hot targets, one syscall.
+	events := []cpu.BranchEvent{
+		{Cycle: 100, PC: 0x8000, Target: 0x8040, Kind: cpu.KindDirect, Taken: true},
+		{Cycle: 140, PC: 0x8044, Target: 0x8100, Kind: cpu.KindCall, Taken: true},
+		{Cycle: 180, PC: 0x8108, Target: 0x8048, Kind: cpu.KindReturn, Taken: true},
+		{Cycle: 220, PC: 0x8050, Target: 0x8040, Kind: cpu.KindDirect, Taken: false},
+		{Cycle: 260, PC: 0x8054, Target: cpu.SyscallTarget(4), Kind: cpu.KindSyscall, Taken: true},
+		{Cycle: 300, PC: 0x8058, Target: 0x8040, Kind: cpu.KindDirect, Taken: true},
+		{Cycle: 340, PC: 0x8044, Target: 0x8100, Kind: cpu.KindCall, Taken: true},
+	}
+
+	// Stage 1: PTM packetises retired branches (branch-broadcast mode).
+	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: true})
+	port := ptm.NewPort(ptm.PortConfig{DrainThreshold: 16})
+	fmt.Println("== PTM packetisation ==")
+	var lastAt sim.Time
+	for _, ev := range events {
+		at := sim.CPUClock.Duration(ev.Cycle)
+		lastAt = at
+		bytes := enc.Encode(ev)
+		fmt.Printf("  branch pc=%#06x -> %#010x taken=%-5v  %d bytes: % x\n",
+			ev.PC, ev.Target, ev.Taken, len(bytes), bytes)
+		port.Push(at, bytes)
+	}
+	port.Push(lastAt, enc.Flush())
+	port.Flush(lastAt)
+
+	// Stage 2: the output port releases held-back bytes to the TPIU.
+	fmtr := tpiu.NewFormatter(tpiu.Config{})
+	released := port.Take()
+	fmt.Printf("\n== PTM port release (threshold holds bytes back) ==\n")
+	fmt.Printf("  %d bytes released, first at %v, last at %v\n",
+		len(released), released[0].At, released[len(released)-1].At)
+	for _, tb := range released {
+		fmtr.Push(tb.At, tb.B)
+	}
+	fmtr.Flush(lastAt)
+
+	// Stage 3: TPIU frames on the 32-bit trace port.
+	words := fmtr.Take()
+	fmt.Printf("\n== TPIU framing ==\n  %d frames, %d port words\n", fmtr.Frames(), len(words))
+
+	// Stage 4: IGM — TA decode, mapper filtering, vector generation.
+	mapper := igm.NewAddressMap()
+	mapper.Add(0x8040)
+	mapper.Add(0x8100)
+	mapper.AddSyscalls() // let kernel entries through too
+	g := igm.New(igm.Config{Mapper: mapper, Window: 3})
+	for _, w := range words {
+		g.FeedWord(w)
+	}
+	fmt.Printf("\n== IGM ==\n")
+	st := g.Stats()
+	fmt.Printf("  decoded %d packets, %d branch addresses; %d accepted, %d filtered\n",
+		st.Packets, st.Branches, st.Accepted, st.Filtered)
+	for _, v := range g.Take() {
+		fmt.Printf("  vector #%d at %v: classes %v (completed by %#010x)\n",
+			v.Seq, v.At, v.Classes, v.Addr)
+	}
+	fmt.Println("\nnote the vector timestamps: retirement -> vector is dominated by the")
+	fmt.Println("PTM hold-back (Fig 7's step 1); the IVG itself adds only 16ns (step 2).")
+}

@@ -1,0 +1,3 @@
+module rtad
+
+go 1.22

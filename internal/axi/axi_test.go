@@ -1,0 +1,181 @@
+package axi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtad/internal/sim"
+)
+
+func testIC(t *testing.T) *Interconnect {
+	t.Helper()
+	ic, err := RTADTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func TestDecode(t *testing.T) {
+	ic := testIC(t)
+	cases := []struct {
+		addr uint32
+		want string
+	}{
+		{0x0000_1000, "ddr"},
+		{0x3FFF_FFFC, "ddr"},
+		{MLMIAOWBase, "mlmiaow-sram"},
+		{MLMIAOWBase + 0x0008_0000, "mlmiaow-sram"},
+		{MCMRegsBase + 4, "mcm-regs"},
+	}
+	for _, c := range cases {
+		s, ok := ic.Decode(c.addr)
+		if !ok || s.Name != c.want {
+			t.Errorf("Decode(%#x) = %v, want %s", c.addr, s, c.want)
+		}
+	}
+	if _, ok := ic.Decode(0xF000_0000); ok {
+		t.Error("unmapped address decoded")
+	}
+	if _, err := ic.Transaction(Write, 0, 0xF000_0000, 1); err == nil {
+		t.Error("unmapped transaction succeeded")
+	}
+	if ic.Stats().DecodeErr != 1 {
+		t.Error("decode error not counted")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	ic := New(nil)
+	if _, err := ic.AddSlave(Slave{Name: "a", Base: 0x1000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ic.AddSlave(Slave{Name: "b", Base: 0x1800, Size: 0x1000}); err == nil {
+		t.Error("overlapping window accepted")
+	}
+	if _, err := ic.AddSlave(Slave{Name: "z", Base: 0x5000, Size: 0}); err == nil {
+		t.Error("zero-size window accepted")
+	}
+}
+
+func TestBurstTiming(t *testing.T) {
+	ic := New(nil)
+	ic.AddSlave(Slave{Name: "sram", Base: 0, Size: 0x10000, AcceptCycles: 2, BeatCycles: 1})
+	done, err := ic.Transaction(Write, 0, 0x100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// decode 2 + accept 2 + 8 beats = 12 fabric cycles.
+	if want := sim.FabricClock.Duration(12); done != want {
+		t.Errorf("burst done at %v, want %v", done, want)
+	}
+}
+
+func TestBurstSplitting(t *testing.T) {
+	ic := New(nil)
+	ic.AddSlave(Slave{Name: "sram", Base: 0, Size: 0x10000, AcceptCycles: 3, BeatCycles: 1})
+	done, err := ic.Transaction(Read, 0, 0, 40) // 16+16+8 beats
+	if err != nil {
+		t.Fatal(err)
+	}
+	// decode 2 + 3 fragments x (accept 3) + 40 beats = 51 cycles.
+	if want := sim.FabricClock.Duration(51); done != want {
+		t.Errorf("split burst done at %v, want %v", done, want)
+	}
+	if ic.Stats().Bursts != 3 || ic.Stats().Beats != 40 {
+		t.Errorf("stats = %+v", ic.Stats())
+	}
+}
+
+func TestArbitrationSerialises(t *testing.T) {
+	ic := New(nil)
+	ic.AddSlave(Slave{Name: "sram", Base: 0, Size: 0x10000, AcceptCycles: 1, BeatCycles: 1})
+	first, _ := ic.Transaction(Write, 0, 0, 8)
+	// Second burst issued while the first still streams must wait.
+	second, _ := ic.Transaction(Write, 0, 0x40, 8)
+	if second < first+sim.FabricClock.Duration(9) {
+		t.Errorf("second burst (%v) overlapped first (%v)", second, first)
+	}
+	if ic.Stats().WaitTime == 0 {
+		t.Error("arbitration wait not accounted")
+	}
+	// Different slaves do not contend.
+	ic2 := New(nil)
+	ic2.AddSlave(Slave{Name: "a", Base: 0, Size: 0x1000, AcceptCycles: 1, BeatCycles: 1})
+	ic2.AddSlave(Slave{Name: "b", Base: 0x1000, Size: 0x1000, AcceptCycles: 1, BeatCycles: 1})
+	a, _ := ic2.Transaction(Write, 0, 0, 8)
+	b, _ := ic2.Transaction(Write, 0, 0x1000, 8)
+	if a != b {
+		t.Errorf("independent slaves should complete together: %v vs %v", a, b)
+	}
+}
+
+func TestSingleBeatSeriesSlower(t *testing.T) {
+	// The Fig 7 structural claim: a CPU-driven word-by-word copy pays
+	// decode+accept per word, so it is much slower than one burst.
+	ic := New(nil)
+	ic.AddSlave(Slave{Name: "sram", Base: 0, Size: 0x10000, AcceptCycles: 2, BeatCycles: 1})
+	burst, err := ic.Transaction(Write, 0, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic2 := New(nil)
+	ic2.AddSlave(Slave{Name: "sram", Base: 0, Size: 0x10000, AcceptCycles: 2, BeatCycles: 1})
+	series, err := ic2.SingleBeatSeries(Write, 0, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series < 3*burst {
+		t.Errorf("single-beat series (%v) should be several times slower than a burst (%v)", series, burst)
+	}
+}
+
+func TestEmptyBurstRejected(t *testing.T) {
+	ic := testIC(t)
+	if _, err := ic.Transaction(Write, 0, 0, 0); err == nil {
+		t.Error("empty burst accepted")
+	}
+}
+
+// Property: completion time is monotone in burst length and never precedes
+// issue time.
+func TestBurstMonotonicityProperty(t *testing.T) {
+	prop := func(beatsSeed uint8, atSeed uint16) bool {
+		beats := int(beatsSeed%64) + 1
+		at := sim.Time(atSeed) * sim.Nanosecond
+		ic := New(nil)
+		ic.AddSlave(Slave{Name: "s", Base: 0, Size: 1 << 20, AcceptCycles: 2, BeatCycles: 1})
+		d1, err := ic.Transaction(Write, at, 0, beats)
+		if err != nil || d1 < at {
+			return false
+		}
+		ic2 := New(nil)
+		ic2.AddSlave(Slave{Name: "s", Base: 0, Size: 1 << 20, AcceptCycles: 2, BeatCycles: 1})
+		d2, err := ic2.Transaction(Write, at, 0, beats+1)
+		return err == nil && d2 > d1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestBurstMustFitSlaveWindow(t *testing.T) {
+	ic := New(nil)
+	ic.AddSlave(Slave{Name: "a", Base: 0, Size: 64, AcceptCycles: 1, BeatCycles: 1})
+	ic.AddSlave(Slave{Name: "b", Base: 64, Size: 64, AcceptCycles: 1, BeatCycles: 1})
+	// 16 beats from byte 32 would cross from a into b: AXI forbids bursts
+	// crossing a decode boundary.
+	if _, err := ic.Transaction(Write, 0, 32, 16); err == nil {
+		t.Error("window-crossing burst accepted")
+	}
+	// Exactly filling the window is fine.
+	if _, err := ic.Transaction(Write, 0, 32, 8); err != nil {
+		t.Errorf("in-window burst rejected: %v", err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package core integrates the RTAD MPSoC (Fig 1): the host CPU running a
+// monitored workload, the CoreSight PTM/TPIU trace path, IGM, MCM and the
+// ML-MIAOW inference engine, wired end to end with consistent simulated
+// time. It provides the deployment flow of §III-C — collect normal traces,
+// train a model, configure the IGM tables, load the model into engine
+// memory — and the measurement harnesses behind Figs 6–8.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rtad/internal/cpu"
+	"rtad/internal/igm"
+	"rtad/internal/kernels"
+	"rtad/internal/ml"
+	"rtad/internal/workload"
+)
+
+// ModelKind selects the deployed detector.
+type ModelKind uint8
+
+// Detector kinds (§IV-C).
+const (
+	ModelELM ModelKind = iota
+	ModelLSTM
+)
+
+// String names the kind.
+func (k ModelKind) String() string {
+	if k == ModelELM {
+		return "ELM"
+	}
+	return "LSTM"
+}
+
+// TrainConfig parameterises the offline phase.
+type TrainConfig struct {
+	Profile workload.Profile
+	Kind    ModelKind
+	// TrainInstr is the instruction budget of the normal-trace collection
+	// run (§III-C: "running the target application in advance and
+	// extracting the branch traces").
+	TrainInstr int64
+	// TrainStride paces the LSTM training vectors (denser than the
+	// runtime stride so the trainer sees enough sequence).
+	TrainStride int
+	// CalibFraction of the collected windows is held out for threshold
+	// calibration.
+	CalibFraction float64
+	// ThresholdMargin is added above the calibration quantile.
+	ThresholdMargin float64
+}
+
+// DefaultTrainConfig returns the budgets used throughout the evaluation.
+func DefaultTrainConfig(p workload.Profile, kind ModelKind) TrainConfig {
+	cfg := TrainConfig{
+		Profile: p, Kind: kind,
+		TrainStride:     64,
+		CalibFraction:   0.2,
+		ThresholdMargin: 0.05,
+	}
+	if kind == ModelELM {
+		// Syscalls are sparse: a long run is needed to gather enough
+		// windows for the ridge solve.
+		cfg.TrainInstr = 30_000_000
+	} else {
+		cfg.TrainInstr = 2_500_000
+	}
+	return cfg
+}
+
+// Deployment is a trained detector bound to one benchmark: the model, the
+// IGM table configuration, and the legitimate-event pool used by the attack
+// emulation.
+type Deployment struct {
+	Profile workload.Profile
+	Kind    ModelKind
+	Mapper  *igm.AddressMap
+	// Translate is the MCM protocol-converter mapping from IGM class IDs
+	// to the model alphabet.
+	Translate func(int32) int32
+	ELM       *ml.ELM
+	LSTM      *ml.LSTM
+	Pool      []cpu.BranchEvent
+	// TrainWindows reports how many windows the model was fitted on.
+	TrainWindows int
+}
+
+// Window returns the deployment's input-vector length.
+func (d *Deployment) Window() int {
+	if d.Kind == ModelELM {
+		return kernels.ELMWindow
+	}
+	return kernels.LSTMWindow
+}
+
+// collectWindows filters a retired-event stream through the mapper exactly
+// as the IGM would, translating classes into the model alphabet, and slices
+// it into windows at the given stride. This is the offline training path:
+// it sees the same data the hardware pipeline delivers, without paying for
+// packet encode/decode on tens of millions of instructions.
+func collectWindows(events []cpu.BranchEvent, mapper *igm.AddressMap,
+	translate func(int32) int32, window, stride int) [][]int32 {
+	var classes []int32
+	for _, ev := range events {
+		if !ev.Taken {
+			continue
+		}
+		c, ok := mapper.Lookup(ev.Target)
+		if !ok {
+			continue
+		}
+		if translate != nil {
+			c = translate(c)
+		}
+		classes = append(classes, c)
+	}
+	var out [][]int32
+	for i := window; i <= len(classes); i += stride {
+		out = append(out, append([]int32(nil), classes[i-window:i]...))
+	}
+	return out
+}
+
+// elmTranslate maps IGM syscall classes to ELM model classes.
+func elmTranslate(c int32) int32 { return c - igm.SyscallClass(0) }
+
+// Train runs the offline deployment flow for cfg.
+func Train(cfg TrainConfig) (*Deployment, error) {
+	prog, err := cfg.Profile.Generate()
+	if err != nil {
+		return nil, err
+	}
+	// Normal-trace collection run.
+	rec := &cpu.CollectSink{TakenOnly: true}
+	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: rec})
+	if _, err := c.Run(cfg.TrainInstr); err != nil {
+		return nil, fmt.Errorf("core: trace collection: %w", err)
+	}
+
+	dep := &Deployment{Profile: cfg.Profile, Kind: cfg.Kind, Pool: rec.Events}
+	switch cfg.Kind {
+	case ModelELM:
+		dep.Mapper = igm.NewAddressMap()
+		dep.Mapper.AddSyscalls()
+		dep.Translate = elmTranslate
+		// Syscall density varies an order of magnitude across the suite;
+		// extend the collection run until the ridge solve has enough
+		// windows (or the hard cap is hit).
+		need := int(float64(ml.DefaultELMConfig().Hidden)/(1-cfg.CalibFraction)) + 40
+		const collectCap = int64(90_000_000) // extra-instruction hard cap
+		for extra := int64(0); extra < collectCap; extra += cfg.TrainInstr {
+			if len(collectWindows(rec.Events, dep.Mapper, dep.Translate, kernels.ELMWindow, 1)) >= need {
+				break
+			}
+			if _, err := c.Run(cfg.TrainInstr); err != nil {
+				return nil, fmt.Errorf("core: extended trace collection: %w", err)
+			}
+			dep.Pool = rec.Events
+		}
+		windows := collectWindows(rec.Events, dep.Mapper, dep.Translate, kernels.ELMWindow, 1)
+		train, calib := splitWindows(windows, cfg.CalibFraction)
+		dep.TrainWindows = len(train)
+		model, err := ml.TrainELM(ml.DefaultELMConfig(), train)
+		if err != nil {
+			return nil, fmt.Errorf("core: ELM training on %s: %w", cfg.Profile.Name, err)
+		}
+		var scores []float64
+		for _, w := range calib {
+			scores = append(scores, model.Score(w))
+		}
+		model.Threshold = ml.CalibrateThreshold(smoothScores(scores), 1.0, cfg.ThresholdMargin)
+		dep.ELM = model
+
+	case ModelLSTM:
+		dep.Mapper = buildBranchVocab(rec.Events, kernels.LSTMVocab)
+		dep.Translate = nil // vocabulary classes are already 0..Vocab-1
+		stride := cfg.TrainStride
+		if stride <= 0 {
+			stride = 64
+		}
+		windows := collectWindows(rec.Events, dep.Mapper, nil, kernels.LSTMWindow, stride)
+		train, calib := splitWindows(windows, cfg.CalibFraction)
+		dep.TrainWindows = len(train)
+		model, err := ml.TrainLSTM(ml.DefaultLSTMConfig(), train)
+		if err != nil {
+			return nil, fmt.Errorf("core: LSTM training on %s: %w", cfg.Profile.Name, err)
+		}
+		st := model.NewState()
+		var scores []float64
+		for _, w := range calib {
+			s, err := model.Score(st, w)
+			if err != nil {
+				return nil, err
+			}
+			scores = append(scores, s)
+		}
+		model.Threshold = ml.CalibrateThreshold(smoothScores(scores), 1.0, cfg.ThresholdMargin)
+		dep.LSTM = model
+
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %d", cfg.Kind)
+	}
+	return dep, nil
+}
+
+// smoothScores applies the same EWMA the inference engine keeps in device
+// memory, so the threshold is calibrated against the quantity the hardware
+// actually compares (kernels.DefaultEwmaAlpha).
+func smoothScores(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	ew := 0.0
+	for i, s := range scores {
+		ew += kernels.DefaultEwmaAlpha * (s - ew)
+		out[i] = ew
+	}
+	return out
+}
+
+// splitWindows separates calibration data from training data.
+func splitWindows(windows [][]int32, calibFraction float64) (train, calib [][]int32) {
+	n := len(windows)
+	cut := n - int(float64(n)*calibFraction)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > n {
+		cut = n
+	}
+	return windows[:cut], windows[cut:]
+}
+
+// buildBranchVocab configures the IGM lookup table with the most frequent
+// branch targets of the normal trace — the user-configured "branches
+// related to their ML models" of §III-A. Class IDs are assigned in
+// frequency order, so they double as the model alphabet.
+func buildBranchVocab(events []cpu.BranchEvent, vocab int) *igm.AddressMap {
+	counts := map[uint32]int64{}
+	for _, ev := range events {
+		if ev.Taken {
+			counts[ev.Target]++
+		}
+	}
+	type tc struct {
+		target uint32
+		n      int64
+	}
+	var all []tc
+	for t, n := range counts {
+		all = append(all, tc{t, n})
+	}
+	// Sort by count descending, target ascending for determinism.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].target < all[j].target
+	})
+	m := igm.NewAddressMap()
+	for i := 0; i < len(all) && i < vocab; i++ {
+		m.Add(all[i].target)
+	}
+	return m
+}

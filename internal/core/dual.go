@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"rtad/internal/attack"
+	"rtad/internal/axi"
+	"rtad/internal/cpu"
+	"rtad/internal/mcm"
+	"rtad/internal/sim"
+)
+
+// Dual-model deployment: §II claims RTAD "is able to support many different
+// ML models whereas others support fixed models... users may realize and
+// deploy several models at their disposal". This file runs the ELM and the
+// LSTM *simultaneously* against one victim: both models' images are
+// resident in ML-MIAOW memory, each has its own IGM vector-generation
+// context (window, stride, mapper table), and their MCM front-ends
+// time-multiplex the one compute engine and share the SoC interconnect —
+// so syscall-window judgments contend with branch-window judgments exactly
+// as they would on the prototype.
+
+// DualResult pairs the two models' detection results from one victim run.
+type DualResult struct {
+	ELM  *DetectionResult
+	LSTM *DetectionResult
+	// Contention is the extra engine wait the busier model imposed on the
+	// other, visible as elevated latencies relative to solo runs.
+	SharedBusyAt sim.Time
+}
+
+// dualSink fans one retired-branch stream out to both pipelines.
+type dualSink struct {
+	a, b *Pipeline
+}
+
+func (d *dualSink) BranchRetired(ev cpu.BranchEvent) int64 {
+	sa := d.a.BranchRetired(ev)
+	sb := d.b.BranchRetired(ev)
+	if sb > sa {
+		return sb
+	}
+	return sa
+}
+
+// RunDualDetection deploys both models on one MLPU and injects the attack
+// once; both detectors judge the same aberrant behaviour.
+func RunDualDetection(elmDep, lstmDep *Deployment, cfg PipelineConfig, aspec AttackSpec, instr int64) (*DualResult, error) {
+	if elmDep.Kind != ModelELM || lstmDep.Kind != ModelLSTM {
+		return nil, fmt.Errorf("core: RunDualDetection needs one ELM and one LSTM deployment")
+	}
+	if elmDep.Profile.Name != lstmDep.Profile.Name {
+		return nil, fmt.Errorf("core: deployments monitor different benchmarks (%s vs %s)",
+			elmDep.Profile.Name, lstmDep.Profile.Name)
+	}
+	prog, err := elmDep.Profile.Generate()
+	if err != nil {
+		return nil, err
+	}
+	bus, err := axi.RTADTopology()
+	if err != nil {
+		return nil, err
+	}
+	shared := mcm.NewSharedEngine()
+
+	elmCfg := cfg.withDefaults(ModelELM)
+	elmCfg.SharedEngine, elmCfg.Bus = shared, bus
+	lstmCfg := cfg.withDefaults(ModelLSTM)
+	lstmCfg.SharedEngine, lstmCfg.Bus = shared, bus
+	elmPipe, err := NewPipeline(elmDep, elmCfg)
+	if err != nil {
+		return nil, err
+	}
+	lstmPipe, err := NewPipeline(lstmDep, lstmCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	if aspec.BurstLen <= 0 {
+		aspec.BurstLen = 32768
+	}
+	if aspec.TriggerBranch <= 0 {
+		aspec.TriggerBranch = instr / 40
+	}
+	inj, err := attack.New(attack.Config{
+		TriggerBranch: aspec.TriggerBranch,
+		BurstLen:      aspec.BurstLen,
+		Pool:          lstmDep.Pool,
+		Segment:       aspec.Mimicry,
+		Seed:          aspec.Seed,
+	}, &dualSink{a: elmPipe, b: lstmPipe})
+	if err != nil {
+		return nil, err
+	}
+	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: inj})
+	if _, err := c.Run(instr); err != nil {
+		return nil, err
+	}
+	end := sim.CPUClock.Duration(c.Cycles())
+	elmPipe.Flush(end)
+	lstmPipe.Flush(end)
+	if err := elmPipe.Err(); err != nil {
+		return nil, err
+	}
+	if err := lstmPipe.Err(); err != nil {
+		return nil, err
+	}
+	if !inj.Fired() {
+		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
+	}
+	injectTime := sim.CPUClock.Duration(inj.InjectedAtCycle)
+
+	out := &DualResult{SharedBusyAt: shared.FreeAt()}
+	out.ELM, err = summarise(elmDep, elmPipe, elmCfg, injectTime)
+	if err != nil {
+		return nil, fmt.Errorf("core: dual ELM: %w", err)
+	}
+	out.LSTM, err = summarise(lstmDep, lstmPipe, lstmCfg, injectTime)
+	if err != nil {
+		return nil, fmt.Errorf("core: dual LSTM: %w", err)
+	}
+	return out, nil
+}
+
+// summarise builds a DetectionResult from a finished pipeline.
+func summarise(dep *Deployment, pipe *Pipeline, cfg PipelineConfig, injectTime sim.Time) (*DetectionResult, error) {
+	res := &DetectionResult{
+		Benchmark:  dep.Profile.Name,
+		Kind:       dep.Kind,
+		CUs:        cfg.CUs,
+		InjectTime: injectTime,
+		Judged:     len(pipe.Judged()),
+		Dropped:    pipe.MCMStats().Dropped,
+		MaxOcc:     pipe.MCMStats().MaxOccupancy,
+	}
+	var latSum sim.Time
+	var latN int64
+	for i := range pipe.judged {
+		j := &pipe.judged[i]
+		if j.FinalRetire < injectTime {
+			continue
+		}
+		if res.First == nil {
+			res.First = j
+			res.Latency = j.JudgmentLatency()
+		}
+		latSum += j.JudgmentLatency()
+		latN++
+		if j.Rec.Judgment.Anomaly {
+			res.Detected = true
+			if res.IRQTime == 0 {
+				res.IRQTime = j.Rec.IRQAt
+			}
+		}
+	}
+	if latN > 0 {
+		res.MeanLatency = latSum / sim.Time(latN)
+	}
+	if res.First == nil {
+		return nil, fmt.Errorf("no post-injection vector judged on %s", dep.Profile.Name)
+	}
+	return res, nil
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+
+	"rtad/internal/attack"
+	"rtad/internal/axi"
+	"rtad/internal/cpu"
+	"rtad/internal/gpu"
+	"rtad/internal/igm"
+	"rtad/internal/kernels"
+	"rtad/internal/mcm"
+	"rtad/internal/ptm"
+	"rtad/internal/sim"
+	"rtad/internal/tpiu"
+)
+
+// PipelineConfig sizes the runtime system.
+type PipelineConfig struct {
+	// CUs is the compute-unit count: 1 models the original MIAOW (only a
+	// single CU fits the FPGA), 5 the trimmed ML-MIAOW (§IV-A).
+	CUs int
+	// Stride is the IGM emission stride; 0 picks the deployment default
+	// (every syscall window for ELM, DefaultLSTMStride accepted branches
+	// for the LSTM — tuned so ML-MIAOW's service rate keeps up, §IV-C).
+	Stride int
+	// FIFODepth is the MCM vector FIFO capacity.
+	FIFODepth int
+	// DrainThreshold is the PTM formatter hold-back in bytes.
+	DrainThreshold int
+	// SharedEngine and Bus support multi-model deployments: pass the same
+	// token/interconnect to several pipelines so their MCMs contend for
+	// one compute engine and one switch (see RunDualDetection).
+	SharedEngine *mcm.SharedEngine
+	Bus          *axi.Interconnect
+}
+
+// Default runtime strides.
+const (
+	DefaultELMStride = 1
+	// DefaultLSTMStride paces general-branch vectors so the inference
+	// engine's service rate keeps up on MIAOW for all but the densest
+	// benchmarks (471.omnetpp overflows, as in Fig 8's discussion), and
+	// comfortably on ML-MIAOW.
+	DefaultLSTMStride = 3840
+	// DefaultDrainThreshold gives the ~2–3 µs trace-visibility latency of
+	// Fig 7's RTAD step (1) at typical branch rates.
+	DefaultDrainThreshold = 64
+)
+
+func (c PipelineConfig) withDefaults(kind ModelKind) PipelineConfig {
+	if c.CUs <= 0 {
+		c.CUs = 5
+	}
+	if c.Stride <= 0 {
+		if kind == ModelELM {
+			c.Stride = DefaultELMStride
+		} else {
+			c.Stride = DefaultLSTMStride
+		}
+	}
+	if c.DrainThreshold <= 0 {
+		c.DrainThreshold = DefaultDrainThreshold
+	}
+	return c
+}
+
+// Judged is one vector's complete journey through the SoC.
+type Judged struct {
+	Vector igm.Vector
+	Rec    mcm.Record
+	// FinalRetire is the CPU retirement time of the branch that completed
+	// the vector — the anchor of the paper's detection-latency metric.
+	FinalRetire sim.Time
+}
+
+// JudgmentLatency is the Fig 8 quantity: retirement of the judged branch to
+// judgment available at the MCM RX engine.
+func (j Judged) JudgmentLatency() sim.Time { return j.Rec.Done - j.FinalRetire }
+
+// Pipeline is the live RTAD system for one deployment.
+type Pipeline struct {
+	dep *Deployment
+	cfg PipelineConfig
+
+	dev    *gpu.Device
+	engine mcm.Engine
+	enc    *ptm.Encoder
+	port   *ptm.Port
+	fmtr   *tpiu.Formatter
+	ig     *igm.IGM
+	mod    *mcm.MCM
+
+	acceptedRetire []sim.Time
+	judged         []Judged
+	err            error
+}
+
+// NewPipeline instantiates the SoC for a deployment.
+func NewPipeline(dep *Deployment, cfg PipelineConfig) (*Pipeline, error) {
+	cfg = cfg.withDefaults(dep.Kind)
+	var (
+		dev    *gpu.Device
+		engine mcm.Engine
+		err    error
+	)
+	switch dep.Kind {
+	case ModelELM:
+		dev = gpu.NewDevice(kernels.ELMMemEnd, cfg.CUs)
+		engine, err = kernels.NewELMEngine(dev, dep.ELM)
+	case ModelLSTM:
+		dev = gpu.NewDevice(kernels.LSTMMemEnd, cfg.CUs)
+		engine, err = kernels.NewLSTMEngine(dev, dep.LSTM)
+	default:
+		return nil, fmt.Errorf("core: unknown model kind")
+	}
+	if err != nil {
+		return nil, err
+	}
+	mod, err := mcm.New(mcm.Config{
+		Engine:    engine,
+		Translate: dep.Translate,
+		FIFODepth: cfg.FIFODepth,
+		Bus:       cfg.Bus,
+		Shared:    cfg.SharedEngine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		dep:    dep,
+		cfg:    cfg,
+		dev:    dev,
+		engine: engine,
+		enc:    ptm.NewEncoder(ptm.Config{BranchBroadcast: true}),
+		port:   ptm.NewPort(ptm.PortConfig{DrainThreshold: cfg.DrainThreshold}),
+		fmtr:   tpiu.NewFormatter(tpiu.Config{}),
+		ig: igm.New(igm.Config{
+			Mapper: dep.Mapper,
+			Window: dep.Window(),
+			Stride: cfg.Stride,
+		}),
+		mod: mod,
+	}, nil
+}
+
+// BranchRetired implements cpu.Sink: it drives the whole CoreSight → IGM →
+// MCM path for one retired branch, advancing every stage's timing model.
+func (p *Pipeline) BranchRetired(ev cpu.BranchEvent) int64 {
+	at := sim.CPUClock.Duration(ev.Cycle)
+	if ev.Taken {
+		if _, ok := p.dep.Mapper.Lookup(ev.Target); ok {
+			p.acceptedRetire = append(p.acceptedRetire, at)
+		}
+	}
+	stall := p.port.Push(at, p.enc.Encode(ev))
+	p.drain()
+	return sim.CPUClock.CyclesCeil(stall)
+}
+
+// drain moves whatever each stage has produced into the next stage.
+func (p *Pipeline) drain() {
+	for _, tb := range p.port.Take() {
+		p.fmtr.Push(tb.At, tb.B)
+	}
+	for _, w := range p.fmtr.Take() {
+		p.ig.FeedWord(w)
+	}
+	for _, v := range p.ig.Take() {
+		rec, ok, err := p.mod.Push(v)
+		if err != nil {
+			if p.err == nil {
+				p.err = err
+			}
+			continue
+		}
+		if !ok {
+			continue // dropped at the MCM FIFO
+		}
+		idx := v.AcceptedIdx - 1
+		var retire sim.Time
+		if idx >= 0 && idx < int64(len(p.acceptedRetire)) {
+			retire = p.acceptedRetire[idx]
+		}
+		p.judged = append(p.judged, Judged{Vector: v, Rec: rec, FinalRetire: retire})
+	}
+}
+
+// Flush pushes out any residual trace data at time at (end of a window).
+func (p *Pipeline) Flush(at sim.Time) {
+	p.port.Push(at, p.enc.Flush())
+	p.port.Flush(at)
+	p.drain()
+	p.fmtr.Flush(at)
+	for _, w := range p.fmtr.Take() {
+		p.ig.FeedWord(w)
+	}
+	p.drain()
+}
+
+// Judged returns every vector that reached a judgment, in order.
+func (p *Pipeline) Judged() []Judged { return p.judged }
+
+// Err returns the first pipeline error, if any.
+func (p *Pipeline) Err() error { return p.err }
+
+// MCMStats exposes the module counters (drops, occupancy).
+func (p *Pipeline) MCMStats() mcm.Stats { return p.mod.Stats() }
+
+// IGMStats exposes the IGM counters.
+func (p *Pipeline) IGMStats() igm.Stats { return p.ig.Stats() }
+
+// AttackSpec configures the detection experiment's injection.
+type AttackSpec struct {
+	// TriggerBranch fires the attack after this many victim taken
+	// transfers; 0 picks 40 % of the expected run's transfers.
+	TriggerBranch int64
+	// BurstLen is the injected legitimate-event count.
+	BurstLen int
+	// Mimicry replays a *contiguous* legitimate trace segment instead of
+	// independently sampled events — the evasion technique the LSTM
+	// branch models of [8] are designed to resist. Expect weaker margins:
+	// only the splice boundaries look anomalous.
+	Mimicry bool
+	Seed    int64
+}
+
+// DetectionResult is one Fig 8 measurement.
+type DetectionResult struct {
+	Benchmark string
+	Kind      ModelKind
+	CUs       int
+
+	InjectTime sim.Time
+	// First is the first judged vector completed by a branch at or after
+	// the injection: the judgment the paper times.
+	First *Judged
+	// Latency = First.JudgmentLatency().
+	Latency sim.Time
+	// MeanLatency averages the judgment latency over every post-injection
+	// vector (queueing and contention effects show up here).
+	MeanLatency sim.Time
+	// IRQTime is when the anomaly interrupt reached the CPU (0 if the
+	// detector never flagged within the run).
+	IRQTime sim.Time
+	// Detected reports whether any post-injection vector was flagged.
+	Detected bool
+
+	Judged  int
+	Dropped int64
+	MaxOcc  int
+}
+
+// RunDetection trains nothing: it takes an existing deployment, runs the
+// victim with the attack injected, and measures the judgment latency.
+func RunDetection(dep *Deployment, pcfg PipelineConfig, aspec AttackSpec, instr int64) (*DetectionResult, error) {
+	prog, err := dep.Profile.Generate()
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := NewPipeline(dep, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	if aspec.BurstLen <= 0 {
+		// Long enough that several input vectors land fully inside the
+		// attack even at the widest stride (~1 ms of hijacked execution).
+		aspec.BurstLen = 32768
+	}
+	if aspec.TriggerBranch <= 0 {
+		// Early enough that even branch-sparse benchmarks reach the
+		// trigger and leave room for post-attack judgments.
+		aspec.TriggerBranch = instr / 40
+	}
+	inj, err := attack.New(attack.Config{
+		TriggerBranch: aspec.TriggerBranch,
+		BurstLen:      aspec.BurstLen,
+		Pool:          dep.Pool,
+		// Default: independently sampled legitimate events — the paper's
+		// "randomly inserting legitimate branch data in normal traces".
+		// Mimicry switches to contiguous segment replay.
+		Segment: aspec.Mimicry,
+		Seed:    aspec.Seed,
+	}, pipe)
+	if err != nil {
+		return nil, err
+	}
+	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: inj})
+	if _, err := c.Run(instr); err != nil {
+		return nil, err
+	}
+	pipe.Flush(sim.CPUClock.Duration(c.Cycles()))
+	if err := pipe.Err(); err != nil {
+		return nil, err
+	}
+	if !inj.Fired() {
+		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
+	}
+
+	res, err := summarise(dep, pipe, pcfg.withDefaults(dep.Kind), sim.CPUClock.Duration(inj.InjectedAtCycle))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w (all post-injection vectors dropped?)", err)
+	}
+	return res, nil
+}

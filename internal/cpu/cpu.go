@@ -1,0 +1,301 @@
+package cpu
+
+import (
+	"fmt"
+
+	"rtad/internal/isa"
+)
+
+// Config sizes a core.
+type Config struct {
+	MemBytes int  // data RAM size (byte-addressable, word-aligned accesses)
+	Mode     Mode // collection mode (Fig 6)
+	Sink     Sink // branch-event consumer; may be nil
+	// WXProtect enforces the threat model's W^X rule (§III-C): stores to
+	// addresses inside the program image fault, so adversaries cannot
+	// rewrite code and must divert control flow through legitimate
+	// instructions — the attack class RTAD is built to catch.
+	WXProtect bool
+}
+
+// DefaultMemBytes is a comfortable data RAM for the generated workloads.
+const DefaultMemBytes = 1 << 20
+
+// CPU is one simulated host core. It is not safe for concurrent use; the
+// whole SoC simulation is single-threaded by design (see internal/sim).
+type CPU struct {
+	prog *isa.Program
+	mem  []byte
+
+	regs [isa.NumRegs]uint32
+	pc   uint32
+	// Comparison flags, set by CMP: the signed relation of rn to the
+	// operand. Enough to implement BEQ/BNE/BLT/BGE.
+	flagEQ bool
+	flagLT bool
+
+	mode Mode
+	sink Sink
+	wx   bool
+
+	cycles      int64
+	instret     int64
+	branchSeq   int64
+	stallCycles int64 // cycles lost to sink backpressure (RTAD overhead)
+	instrCycles int64 // cycles spent in instrumentation stubs (SW_* overhead)
+	kindCounts  [numKinds]int64
+	halted      bool
+}
+
+// New builds a core around an assembled program. The stack pointer starts at
+// the top of RAM; R10 points at the middle of RAM as the workload data base
+// (the workload generator's convention).
+func New(prog *isa.Program, cfg Config) *CPU {
+	if cfg.MemBytes <= 0 {
+		cfg.MemBytes = DefaultMemBytes
+	}
+	c := &CPU{
+		prog: prog,
+		mem:  make([]byte, cfg.MemBytes),
+		mode: cfg.Mode,
+		sink: cfg.Sink,
+		wx:   cfg.WXProtect,
+		pc:   prog.Base,
+	}
+	c.regs[isa.SP] = uint32(cfg.MemBytes - 16)
+	c.regs[isa.R10] = uint32(cfg.MemBytes / 2)
+	return c
+}
+
+// Reg returns the value of register r.
+func (c *CPU) Reg(r isa.Reg) uint32 { return c.regs[r] }
+
+// SetReg sets register r, used by tests and loaders.
+func (c *CPU) SetReg(r isa.Reg, v uint32) { c.regs[r] = v }
+
+// PC returns the current program counter.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Cycles returns the total elapsed CPU cycles, including stall and
+// instrumentation time.
+func (c *CPU) Cycles() int64 { return c.cycles }
+
+// Instret returns the number of retired instructions (stub instructions are
+// accounted as cycles, not retirements, so instruction counts stay
+// comparable across modes).
+func (c *CPU) Instret() int64 { return c.instret }
+
+// StallCycles returns cycles lost to trace-sink backpressure.
+func (c *CPU) StallCycles() int64 { return c.stallCycles }
+
+// InstrumentationCycles returns cycles spent executing SW_* dump stubs.
+func (c *CPU) InstrumentationCycles() int64 { return c.instrCycles }
+
+// BranchCount returns how many transfers of kind k have retired.
+func (c *CPU) BranchCount(k Kind) int64 { return c.kindCounts[k] }
+
+// Halted reports whether a HALT instruction has retired.
+func (c *CPU) Halted() bool { return c.halted }
+
+func (c *CPU) loadWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 || int(addr)+4 > len(c.mem) {
+		return 0, fmt.Errorf("cpu: bad load address %#x at pc %#x", addr, c.pc)
+	}
+	return uint32(c.mem[addr]) | uint32(c.mem[addr+1])<<8 |
+		uint32(c.mem[addr+2])<<16 | uint32(c.mem[addr+3])<<24, nil
+}
+
+func (c *CPU) storeWord(addr, v uint32) error {
+	if addr%4 != 0 || int(addr)+4 > len(c.mem) {
+		return fmt.Errorf("cpu: bad store address %#x at pc %#x", addr, c.pc)
+	}
+	if c.wx && c.prog.Contains(addr) {
+		return fmt.Errorf("cpu: W^X violation: store to code address %#x at pc %#x", addr, c.pc)
+	}
+	c.mem[addr] = byte(v)
+	c.mem[addr+1] = byte(v >> 8)
+	c.mem[addr+2] = byte(v >> 16)
+	c.mem[addr+3] = byte(v >> 24)
+	return nil
+}
+
+// retireBranch reports a branch event to the sink and charges any
+// mode-specific instrumentation cost.
+func (c *CPU) retireBranch(pc, target uint32, kind Kind, taken bool) {
+	c.kindCounts[kind]++
+	if cost := InstrumentationCost(c.mode, kind); cost > 0 {
+		c.cycles += cost
+		c.instrCycles += cost
+	}
+	if c.sink != nil && c.mode != ModeBaseline {
+		ev := BranchEvent{
+			Seq: c.branchSeq, Cycle: c.cycles,
+			PC: pc, Target: target, Kind: kind, Taken: taken,
+		}
+		c.branchSeq++
+		if stall := c.sink.BranchRetired(ev); stall > 0 {
+			c.cycles += stall
+			c.stallCycles += stall
+		}
+	}
+}
+
+// Step executes one instruction and returns an error on an architectural
+// fault (bad fetch, bad memory access). Stepping a halted core is a no-op.
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	w, err := c.prog.WordAt(c.pc)
+	if err != nil {
+		return err
+	}
+	ins, err := isa.Decode(w)
+	if err != nil {
+		return fmt.Errorf("cpu: at pc %#x: %v", c.pc, err)
+	}
+
+	pc := c.pc
+	next := pc + isa.WordBytes
+	c.cycles += ins.Op.Cycles()
+	c.instret++
+
+	operand := func() uint32 {
+		if ins.HasImm {
+			return uint32(ins.Imm)
+		}
+		return c.regs[ins.Rm]
+	}
+	takeTo := func(target uint32, kind Kind) {
+		c.cycles += isa.BranchTakenPenalty
+		c.retireBranch(pc, target, kind, true)
+		next = target
+	}
+
+	switch ins.Op {
+	case isa.NOP:
+	case isa.HALT:
+		c.halted = true
+	case isa.ADD:
+		c.regs[ins.Rd] = c.regs[ins.Rn] + operand()
+	case isa.SUB:
+		c.regs[ins.Rd] = c.regs[ins.Rn] - operand()
+	case isa.AND:
+		c.regs[ins.Rd] = c.regs[ins.Rn] & operand()
+	case isa.ORR:
+		c.regs[ins.Rd] = c.regs[ins.Rn] | operand()
+	case isa.EOR:
+		c.regs[ins.Rd] = c.regs[ins.Rn] ^ operand()
+	case isa.LSL:
+		c.regs[ins.Rd] = c.regs[ins.Rn] << (operand() & 31)
+	case isa.LSR:
+		c.regs[ins.Rd] = c.regs[ins.Rn] >> (operand() & 31)
+	case isa.ASR:
+		c.regs[ins.Rd] = uint32(int32(c.regs[ins.Rn]) >> (operand() & 31))
+	case isa.MUL:
+		c.regs[ins.Rd] = c.regs[ins.Rn] * operand()
+	case isa.MOV:
+		c.regs[ins.Rd] = operand()
+	case isa.MVN:
+		c.regs[ins.Rd] = ^operand()
+	case isa.CMP:
+		a, b := int32(c.regs[ins.Rn]), int32(operand())
+		c.flagEQ = a == b
+		c.flagLT = a < b
+	case isa.LDR:
+		v, err := c.loadWord(c.regs[ins.Rn] + uint32(ins.Imm))
+		if err != nil {
+			return err
+		}
+		c.regs[ins.Rd] = v
+	case isa.STR:
+		if err := c.storeWord(c.regs[ins.Rn]+uint32(ins.Imm), c.regs[ins.Rd]); err != nil {
+			return err
+		}
+
+	case isa.B:
+		takeTo(next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		taken := false
+		switch ins.Op {
+		case isa.BEQ:
+			taken = c.flagEQ
+		case isa.BNE:
+			taken = !c.flagEQ
+		case isa.BLT:
+			taken = c.flagLT
+		case isa.BGE:
+			taken = !c.flagLT
+		}
+		if taken {
+			takeTo(next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
+		} else {
+			// Not-taken waypoints still retire an atom-worthy event.
+			c.retireBranch(pc, next, KindDirect, false)
+		}
+	case isa.BL:
+		c.regs[isa.LR] = next
+		takeTo(next+uint32(ins.Imm)*isa.WordBytes, KindCall)
+	case isa.BLR:
+		c.regs[isa.LR] = next
+		takeTo(c.regs[ins.Rm], KindIndCall)
+	case isa.BR:
+		takeTo(c.regs[ins.Rm], KindIndirect)
+	case isa.RET:
+		takeTo(c.regs[isa.LR], KindReturn)
+	case isa.SVC:
+		// The kernel entry/exit cost is in SVC's base cycle count; the
+		// event target encodes the service number for feature mapping.
+		c.retireBranch(pc, SyscallTarget(ins.Imm), KindSyscall, true)
+	default:
+		return fmt.Errorf("cpu: unimplemented opcode %v at %#x", ins.Op, pc)
+	}
+
+	c.pc = next
+	return nil
+}
+
+// Run executes up to maxInstr instructions, stopping early at HALT or on an
+// architectural fault. It returns the number of instructions retired during
+// this call.
+func (c *CPU) Run(maxInstr int64) (int64, error) {
+	start := c.instret
+	for c.instret-start < maxInstr && !c.halted {
+		if err := c.Step(); err != nil {
+			return c.instret - start, err
+		}
+	}
+	return c.instret - start, nil
+}
+
+// Stats is a snapshot of the core's performance counters.
+type Stats struct {
+	Cycles      int64
+	Instret     int64
+	StallCycles int64
+	InstrCycles int64
+	Branches    int64 // all retired branch instructions (incl. not-taken)
+	Calls       int64
+	Returns     int64
+	Indirects   int64
+	Syscalls    int64
+}
+
+// Stats returns the current counter snapshot.
+func (c *CPU) Stats() Stats {
+	var total int64
+	for _, n := range c.kindCounts {
+		total += n
+	}
+	return Stats{
+		Cycles:      c.cycles,
+		Instret:     c.instret,
+		StallCycles: c.stallCycles,
+		InstrCycles: c.instrCycles,
+		Branches:    total,
+		Calls:       c.kindCounts[KindCall] + c.kindCounts[KindIndCall],
+		Returns:     c.kindCounts[KindReturn],
+		Indirects:   c.kindCounts[KindIndirect] + c.kindCounts[KindIndCall],
+		Syscalls:    c.kindCounts[KindSyscall],
+	}
+}

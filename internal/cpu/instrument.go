@@ -1,0 +1,90 @@
+package cpu
+
+import "rtad/internal/isa"
+
+// Mode selects how branch information is collected from the host, matching
+// the five configurations of Fig 6. Baseline runs the raw program; RTAD
+// enables the CoreSight path (overhead only via trace-FIFO backpressure);
+// the SW_* modes model software instrumentation by executing a dump stub at
+// every corresponding event site, exactly as the paper's modified binaries
+// execute inserted instructions.
+type Mode uint8
+
+// Collection modes.
+const (
+	ModeBaseline Mode = iota
+	ModeRTAD
+	ModeSWSys  // strace-style syscall tracing
+	ModeSWFunc // per-function-call instrumentation
+	ModeSWAll  // per-branch instrumentation
+
+	numModes
+)
+
+var modeNames = [numModes]string{
+	ModeBaseline: "Baseline", ModeRTAD: "RTAD",
+	ModeSWSys: "SW_SYS", ModeSWFunc: "SW_FUNC", ModeSWAll: "SW_ALL",
+}
+
+// String returns the paper's label for m.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return "mode(?)"
+}
+
+// stubCost sums the base cycle costs of a stub's opcodes. Stubs are modelled
+// as straight-line code (no taken branches), so no pipeline penalty applies.
+func stubCost(ops []isa.Op) int64 {
+	var c int64
+	for _, op := range ops {
+		c += op.Cycles()
+	}
+	return c
+}
+
+// branchDumpStub is the per-branch instrumentation of SW_ALL: store the
+// branch record to the trace buffer and bump the cursor. Three
+// instructions, executed for *every* branch instruction — which is why
+// SW_ALL costs tens of percent on branch-dense code (Fig 6 reports 43.4 %
+// geometric mean).
+var branchDumpStub = []isa.Op{
+	isa.STR, // store PC
+	isa.STR, // store target
+	isa.ADD, // advance cursor
+}
+
+// callDumpStub is the per-call instrumentation of SW_FUNC: record the callee
+// address and a timestamp at function entry.
+var callDumpStub = []isa.Op{
+	isa.STR,
+	isa.STR,
+	isa.ADD,
+	isa.LDR,
+}
+
+// syscallTraceCost is the per-syscall cost of strace-style collection: the
+// kernel stops the tracee at syscall entry and exit, context-switches to the
+// tracer, which reads registers and appends a log record, then resumes. Two
+// stops per call, several hundred cycles each on an embedded core.
+const syscallTraceCost int64 = 900
+
+// InstrumentationCost returns the extra cycles mode m charges for a branch
+// event of kind k. It is the timing contract between the core and Fig 6.
+func InstrumentationCost(m Mode, k Kind) int64 {
+	switch m {
+	case ModeSWAll:
+		// Every branch site is instrumented, taken or not.
+		return stubCost(branchDumpStub)
+	case ModeSWFunc:
+		if k == KindCall || k == KindIndCall {
+			return stubCost(callDumpStub)
+		}
+	case ModeSWSys:
+		if k == KindSyscall {
+			return syscallTraceCost
+		}
+	}
+	return 0
+}

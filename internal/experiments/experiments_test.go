@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtad/internal/core"
+	"rtad/internal/cpu"
+	"rtad/internal/sim"
+)
+
+// quickOpts keeps unit-test budgets small; the full budgets run in the
+// benchmark harness (bench_test.go) and cmd/experiments.
+func quickOpts() Options {
+	return Options{
+		Benchmarks:     []string{"458.sjeng", "471.omnetpp", "456.hmmer"},
+		OverheadInstr:  400_000,
+		DetectInstr:    2_000_000,
+		TrainELMInstr:  10_000_000,
+		TrainLSTMInstr: 1_200_000,
+	}
+}
+
+func TestTableIIExperiment(t *testing.T) {
+	res, err := TableII(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trim.Verified {
+		t.Error("trim not verified")
+	}
+	red := res.Trim.MLMIAOW.Reduction(res.Trim.MIAOW)
+	if red < 0.75 || red > 0.88 {
+		t.Errorf("ML-MIAOW reduction %.2f outside band", red)
+	}
+	s := res.String()
+	for _, frag := range []string{"MIAOW", "MIAOW2.0", "ML-MIAOW", "perf/area"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendering missing %q", frag)
+		}
+	}
+}
+
+func TestTableIExperiment(t *testing.T) {
+	res, err := TableI(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Total.BRAMs != 150 {
+		t.Errorf("total BRAMs %d, want 150", res.Table.Total.BRAMs)
+	}
+	if !strings.Contains(res.String(), "ML-MIAOW (5 CUs)") {
+		t.Error("rendering missing engine row")
+	}
+}
+
+func TestFig6Experiment(t *testing.T) {
+	res, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	g := res.Geomean
+	if !(g[cpu.ModeRTAD] < g[cpu.ModeSWSys] &&
+		g[cpu.ModeSWSys] < g[cpu.ModeSWFunc] &&
+		g[cpu.ModeSWFunc] < g[cpu.ModeSWAll]) {
+		t.Errorf("geomean ordering broken: %v", g)
+	}
+	if g[cpu.ModeRTAD] > 0.005 {
+		t.Errorf("RTAD geomean %.4f%% too high", g[cpu.ModeRTAD]*100)
+	}
+	if !strings.Contains(res.String(), "geomean") {
+		t.Error("rendering missing geomean row")
+	}
+}
+
+func TestFig7Experiment(t *testing.T) {
+	o := quickOpts()
+	res, err := Fig7(o, "401.bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTAD.Total() >= res.SW.Total() {
+		t.Errorf("RTAD %v not faster than SW %v", res.RTAD.Total(), res.SW.Total())
+	}
+	if !strings.Contains(res.String(), "vectorize") {
+		t.Error("rendering missing stages")
+	}
+}
+
+func TestFig8ExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 is the heaviest experiment")
+	}
+	o := quickOpts()
+	o.Benchmarks = []string{"458.sjeng", "471.omnetpp"}
+	res, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ELM) != 2 || len(res.LSTM) != 2 {
+		t.Fatalf("rows: %d ELM, %d LSTM", len(res.ELM), len(res.LSTM))
+	}
+	for _, rows := range [][]Fig8Row{res.ELM, res.LSTM} {
+		for _, row := range rows {
+			if row.Speedup <= 1.0 {
+				t.Errorf("%s/%v: ML-MIAOW not faster (%.2fx)", row.Benchmark, row.Kind, row.Speedup)
+			}
+		}
+	}
+	if res.MeanSpeedup < 1.5 || res.MeanSpeedup > 5.0 {
+		t.Errorf("mean speedup %.2fx outside plausible band (paper 2.75x)", res.MeanSpeedup)
+	}
+	// The paper's asymmetry: ELM gains more from the extra CUs than LSTM.
+	if res.ELM[0].Speedup <= res.LSTM[0].Speedup {
+		t.Logf("note: ELM speedup %.2f vs LSTM %.2f (paper has ELM higher)",
+			res.ELM[0].Speedup, res.LSTM[0].Speedup)
+	}
+	if !strings.Contains(res.String(), "mean speedup") {
+		t.Error("rendering incomplete")
+	}
+	if core.ModelELM.String() != "ELM" {
+		t.Error("sanity")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	o := Options{Benchmarks: []string{"no-such-benchmark"}}
+	if _, err := Fig6(o); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestFig8RowHelpers(t *testing.T) {
+	rows := []Fig8Row{
+		{Benchmark: "a", MIAOW: 100 * sim.Microsecond, MLMIAOW: 30 * sim.Microsecond},
+		{Benchmark: "b", MIAOW: 200 * sim.Microsecond, MLMIAOW: 70 * sim.Microsecond},
+		{Benchmark: "c", MIAOW: 300 * sim.Microsecond, MLMIAOW: 50 * sim.Microsecond},
+	}
+	if got := MeanLatency(rows, false); got != 200*sim.Microsecond {
+		t.Errorf("MIAOW mean = %v", got)
+	}
+	if got := MeanLatency(rows, true); got != 50*sim.Microsecond {
+		t.Errorf("ML-MIAOW mean = %v", got)
+	}
+	lo, hi := LatencySpread(rows)
+	if lo != 30*sim.Microsecond || hi != 70*sim.Microsecond {
+		t.Errorf("spread = %v..%v", lo, hi)
+	}
+	if MeanLatency(nil, true) != 0 {
+		t.Error("empty mean not zero")
+	}
+	if lo, hi := LatencySpread(nil); lo != 0 || hi != 0 {
+		t.Error("empty spread not zero")
+	}
+}

@@ -1,0 +1,349 @@
+package gpu
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kernel is an assembled GPU program.
+type Kernel struct {
+	Name   string
+	Code   []Instr
+	Labels map[string]int
+}
+
+var gpuOpByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// Assemble translates kernel assembly into a Kernel. Syntax: one
+// instruction per line; "label:" lines; ";" or "//" comments; registers
+// s0–s31 and v0–v31; immediates "#n"; memory operands "[reg+#off]"; branch
+// targets are labels. Stores are written "op value, [base+#off]".
+func Assemble(name, src string) (*Kernel, error) {
+	type pending struct {
+		line int
+		text string
+	}
+	labels := make(map[string]int)
+	var insns []pending
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,#[") {
+				break
+			}
+			name := line[:i]
+			if name == "" {
+				return nil, fmt.Errorf("gpu asm: line %d: empty label", lineNo+1)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("gpu asm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(insns)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		insns = append(insns, pending{lineNo + 1, line})
+	}
+
+	k := &Kernel{Name: name, Labels: labels, Code: make([]Instr, 0, len(insns))}
+	for _, pd := range insns {
+		ins, err := parseGPUInstr(pd.text, labels)
+		if err != nil {
+			return nil, fmt.Errorf("gpu asm: line %d: %v", pd.line, err)
+		}
+		k.Code = append(k.Code, ins)
+	}
+	return k, nil
+}
+
+// MustAssemble panics on assembly errors; for the fixed kernels shipped in
+// internal/kernels, which are validated by tests.
+func MustAssemble(name, src string) *Kernel {
+	k, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func parseGPUReg(s string) (Operand, error) {
+	if len(s) >= 2 {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil {
+			switch s[0] {
+			case 's':
+				if n >= 0 && n < NumSGPR {
+					return sreg(uint8(n)), nil
+				}
+			case 'v':
+				if n >= 0 && n < NumVGPR {
+					return vreg(uint8(n)), nil
+				}
+			}
+		}
+	}
+	return Operand{}, fmt.Errorf("bad register %q", s)
+}
+
+func parseGPUOperand(s string) (Operand, error) {
+	if strings.HasPrefix(s, "#") {
+		n, err := strconv.ParseInt(s[1:], 0, 64)
+		if err != nil || n < -(1<<31) || n > 1<<31-1 {
+			return Operand{}, fmt.Errorf("bad immediate %q", s)
+		}
+		return immOp(int32(n)), nil
+	}
+	return parseGPUReg(s)
+}
+
+// parseMem parses "[reg+#off]" (offset optional) into base operand + offset.
+func parseMem(s string) (Operand, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return Operand{}, 0, fmt.Errorf("memory operand must be [reg+#off]: %q", s)
+	}
+	body := s[1 : len(s)-1]
+	base := body
+	off := int32(0)
+	if i := strings.Index(body, "+"); i >= 0 {
+		base = strings.TrimSpace(body[:i])
+		immStr := strings.TrimSpace(body[i+1:])
+		if !strings.HasPrefix(immStr, "#") {
+			return Operand{}, 0, fmt.Errorf("offset must be immediate: %q", s)
+		}
+		n, err := strconv.ParseInt(immStr[1:], 0, 32)
+		if err != nil {
+			return Operand{}, 0, fmt.Errorf("bad offset in %q", s)
+		}
+		off = int32(n)
+	}
+	reg, err := parseGPUReg(strings.TrimSpace(base))
+	if err != nil {
+		return Operand{}, 0, err
+	}
+	return reg, off, nil
+}
+
+func parseGPUInstr(text string, labels map[string]int) (Instr, error) {
+	fields := strings.SplitN(text, " ", 2)
+	op, ok := gpuOpByName[strings.ToLower(fields[0])]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	var ops []string
+	depth := 0
+	start := 0
+	for i, ch := range rest {
+		switch ch {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				ops = append(ops, strings.TrimSpace(rest[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(rest[start:]); tail != "" {
+		ops = append(ops, tail)
+	}
+
+	ins := Instr{Op: op}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operand(s), got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	wantKind := func(o Operand, k OperandKind, what string) error {
+		if o.Kind != k {
+			return fmt.Errorf("%s: %s operand has wrong kind", op, what)
+		}
+		return nil
+	}
+
+	switch op {
+	case SENDPGM, SNOP, SBARRIER, SSETEXECALL, SSETEXECVCC:
+		return ins, need(0)
+
+	case SSETEXECCNT:
+		if err := need(1); err != nil {
+			return ins, err
+		}
+		o, err := parseGPUOperand(ops[0])
+		if err != nil || o.Kind != OpImm {
+			return ins, fmt.Errorf("%s needs an immediate", op)
+		}
+		ins.Imm = o.Imm
+		return ins, nil
+
+	case SBRANCH, SCBRANCH1, SCBRANCH0:
+		if err := need(1); err != nil {
+			return ins, err
+		}
+		pc, ok := labels[ops[0]]
+		if !ok {
+			return ins, fmt.Errorf("undefined label %q", ops[0])
+		}
+		ins.Imm = int32(pc)
+		return ins, nil
+
+	case SLOADW, FLATLOAD, DSREAD:
+		if err := need(2); err != nil {
+			return ins, err
+		}
+		dst, err := parseGPUReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		base, off, err := parseMem(ops[1])
+		if err != nil {
+			return ins, err
+		}
+		wantDst := OpVReg
+		if op == SLOADW {
+			wantDst = OpSReg
+		}
+		if err := wantKind(dst, wantDst, "destination"); err != nil {
+			return ins, err
+		}
+		ins.Dst, ins.A, ins.Imm = dst, base, off
+		return ins, nil
+
+	case SSTOREW, FLATSTORE, DSWRITE:
+		if err := need(2); err != nil {
+			return ins, err
+		}
+		src, err := parseGPUReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		base, off, err := parseMem(ops[1])
+		if err != nil {
+			return ins, err
+		}
+		wantSrc := OpVReg
+		if op == SSTOREW {
+			wantSrc = OpSReg
+		}
+		if err := wantKind(src, wantSrc, "source"); err != nil {
+			return ins, err
+		}
+		ins.A, ins.B, ins.Imm = src, base, off
+		return ins, nil
+
+	case VREADLANE:
+		if err := need(3); err != nil {
+			return ins, err
+		}
+		dst, err := parseGPUReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		a, err := parseGPUReg(ops[1])
+		if err != nil {
+			return ins, err
+		}
+		lane, err := parseGPUOperand(ops[2])
+		if err != nil || lane.Kind != OpImm {
+			return ins, fmt.Errorf("v_readlane lane must be an immediate")
+		}
+		if err := wantKind(dst, OpSReg, "destination"); err != nil {
+			return ins, err
+		}
+		if err := wantKind(a, OpVReg, "source"); err != nil {
+			return ins, err
+		}
+		if lane.Imm < 0 || lane.Imm >= WaveLanes {
+			return ins, fmt.Errorf("lane %d out of range", lane.Imm)
+		}
+		ins.Dst, ins.A, ins.Imm = dst, a, lane.Imm
+		return ins, nil
+
+	case SMOV, VMOV:
+		if err := need(2); err != nil {
+			return ins, err
+		}
+		dst, err := parseGPUReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		src, err := parseGPUOperand(ops[1])
+		if err != nil {
+			return ins, err
+		}
+		want := OpVReg
+		if op == SMOV {
+			want = OpSReg
+		}
+		if err := wantKind(dst, want, "destination"); err != nil {
+			return ins, err
+		}
+		ins.Dst, ins.A = dst, src
+		return ins, nil
+
+	case SCMPLT, SCMPLE, SCMPEQ, SCMPNE, SCMPGT, SCMPGE,
+		VCMPLT, VCMPEQ, VCMPGT:
+		if err := need(2); err != nil {
+			return ins, err
+		}
+		a, err := parseGPUOperand(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		b, err := parseGPUOperand(ops[1])
+		if err != nil {
+			return ins, err
+		}
+		ins.A, ins.B = a, b
+		return ins, nil
+
+	default: // three-operand ALU (scalar or vector)
+		if err := need(3); err != nil {
+			return ins, err
+		}
+		dst, err := parseGPUReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		a, err := parseGPUOperand(ops[1])
+		if err != nil {
+			return ins, err
+		}
+		b, err := parseGPUOperand(ops[2])
+		if err != nil {
+			return ins, err
+		}
+		want := OpVReg
+		if op >= SMOV && op <= SSTOREW {
+			want = OpSReg
+		}
+		if err := wantKind(dst, want, "destination"); err != nil {
+			return ins, err
+		}
+		ins.Dst, ins.A, ins.B = dst, a, b
+		return ins, nil
+	}
+}

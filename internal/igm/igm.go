@@ -1,0 +1,274 @@
+// Package igm implements RTAD's Input Generation Module (§III-A, Fig 2):
+// the hardware block between the CoreSight trace port and the ML computing
+// module. It contains the trace analyzer (four TA units decoding the PTM
+// byte stream, one byte per unit per cycle), the parallel-to-serial
+// converter (a 32-bit word can decode into as many as four branch
+// addresses, which must be serialised), and the input vector generator —
+// an address mapper that passes only addresses present in a configurable
+// lookup table, and a vector encoder that turns the surviving class IDs
+// into the input-vector format of the target ML model.
+package igm
+
+import (
+	"fmt"
+	"sort"
+
+	"rtad/internal/cpu"
+	"rtad/internal/ptm"
+	"rtad/internal/sim"
+	"rtad/internal/tpiu"
+)
+
+// MaxMapEntries bounds the address-mapper lookup table, which in hardware
+// is a fixed-capacity CAM.
+const MaxMapEntries = 1024
+
+// syscallClassBase is where syscall service classes start in the class ID
+// space, above any branch-address classes.
+const syscallClassBase = MaxMapEntries
+
+// AddressMap is the IGM lookup table: branch target address -> class ID.
+// Users configure it with the branches their model cares about — system
+// calls, critical API entry points, or (for general-branch models like the
+// LSTM) the frequent branch targets of the monitored program.
+type AddressMap struct {
+	classes  map[uint32]int32
+	next     int32
+	syscalls bool
+}
+
+// NewAddressMap returns an empty table.
+func NewAddressMap() *AddressMap {
+	return &AddressMap{classes: make(map[uint32]int32)}
+}
+
+// Add registers addr and returns its class ID; re-adding returns the
+// existing ID. It panics when the CAM capacity is exceeded — a static
+// configuration error, not a runtime condition.
+func (m *AddressMap) Add(addr uint32) int32 {
+	if id, ok := m.classes[addr]; ok {
+		return id
+	}
+	if len(m.classes) >= MaxMapEntries {
+		panic(fmt.Sprintf("igm: address map exceeds %d entries", MaxMapEntries))
+	}
+	id := m.next
+	m.next++
+	m.classes[addr] = id
+	return id
+}
+
+// AddSyscalls admits every kernel service entry (the ELM configuration).
+// Service n maps to class syscallClassBase+n, independent of branch classes.
+func (m *AddressMap) AddSyscalls() { m.syscalls = true }
+
+// Lookup resolves addr to a class ID; ok is false for filtered addresses.
+func (m *AddressMap) Lookup(addr uint32) (int32, bool) {
+	if m.syscalls && addr >= cpu.SyscallBase {
+		return int32(syscallClassBase) + cpu.SyscallNumber(addr), true
+	}
+	id, ok := m.classes[addr]
+	return id, ok
+}
+
+// SyscallClass converts a service number to its class ID, for callers
+// preparing training data consistent with the hardware mapping.
+func SyscallClass(n int32) int32 { return int32(syscallClassBase) + n }
+
+// Size reports configured branch entries (excluding the syscall range).
+func (m *AddressMap) Size() int { return len(m.classes) }
+
+// Vector is one generated ML input: the sliding window of the most recent
+// accepted class IDs (oldest first), stamped with the time the vector
+// encoder finished producing it.
+type Vector struct {
+	At  sim.Time
+	Seq int64
+	// AcceptedIdx is the 1-based ordinal (among mapper-accepted events) of
+	// the event that completed this vector. The SoC layer uses it to
+	// recover the completing branch's retirement time for latency
+	// measurements (Fig 8 anchors on the branch the judgment is about).
+	AcceptedIdx int64
+	Addr        uint32  // the branch that completed this vector
+	Classes     []int32 // length = Config.Window
+}
+
+// Config parameterises the IGM.
+type Config struct {
+	Mapper *AddressMap
+	// Window is the input-vector length in class IDs. The vector encoder
+	// emits a vector per accepted event once the window has filled.
+	Window int
+	// Stride paces emission: a vector is produced every Stride-th
+	// accepted event (after the window fills). 1 — the default — emits on
+	// every accepted event; larger strides subsample dense streams so the
+	// inference engine's service rate can keep up (the conversion-table
+	// configuration knob of §III-A).
+	Stride int
+	// Clock is the IGM clock domain (defaults to sim.FabricClock).
+	Clock *sim.Clock
+}
+
+// Pipeline latencies in IGM cycles. Decode is the TA unit latency; the
+// mapper and encoder stages give the two-cycle vector-generation figure the
+// paper reports for step (2) of Fig 7.
+const (
+	taDecodeCycles  = 1
+	mapperCycles    = 1
+	vecEncodeCycles = 1
+)
+
+// IGM is the module instance.
+type IGM struct {
+	cfg       Config
+	defr      *tpiu.Deframer
+	dec       *ptm.StreamDecoder
+	win       []int32
+	out       []Vector
+	seq       int64
+	sinceEmit int
+	// serFreeAt is when the P2S serialiser frees up: decoded addresses
+	// from the four TA units leave it one per cycle.
+	serFreeAt sim.Time
+
+	stats Stats
+}
+
+// Stats counts IGM activity for the evaluation harness.
+type Stats struct {
+	Words     int64 // 32-bit port words consumed
+	Packets   int64 // trace packets decoded
+	Branches  int64 // branch-address packets seen
+	Accepted  int64 // addresses passing the mapper
+	Filtered  int64 // addresses rejected by the mapper
+	Vectors   int64 // vectors emitted
+	DecErrors int   // PTM protocol errors
+}
+
+// New returns an IGM with cfg applied.
+func New(cfg Config) *IGM {
+	if cfg.Mapper == nil {
+		cfg.Mapper = NewAddressMap()
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.FabricClock
+	}
+	return &IGM{
+		cfg:  cfg,
+		defr: tpiu.NewDeframer(0),
+		dec:  ptm.NewStreamDecoder(),
+	}
+}
+
+// FeedWord consumes one timed 32-bit word from the TPIU port, advancing the
+// TA/P2S/IVG pipeline. Completed vectors accumulate for Take.
+func (g *IGM) FeedWord(w tpiu.TimedWord) {
+	g.stats.Words++
+	payload := g.defr.Feed(w.W)
+	if len(payload) == 0 {
+		return
+	}
+	// The four TA units decode the word's payload bytes in parallel; the
+	// results are valid one cycle after the word arrives.
+	decodeAt := w.At + g.cfg.Clock.Duration(taDecodeCycles)
+	for _, b := range payload {
+		for _, pkt := range g.dec.Feed(b) {
+			g.stats.Packets++
+			if pkt.Type != ptm.PktBranch {
+				continue
+			}
+			g.stats.Branches++
+			g.acceptBranch(decodeAt, pkt.Addr)
+		}
+	}
+	g.stats.DecErrors = g.dec.Errors
+}
+
+// acceptBranch runs one decoded address through P2S, the mapper and the
+// vector encoder.
+func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
+	// P2S: one address per cycle leaves the converter.
+	at := decodeAt
+	if g.serFreeAt > at {
+		at = g.serFreeAt
+	}
+	g.serFreeAt = at + g.cfg.Clock.Period()
+
+	class, ok := g.cfg.Mapper.Lookup(addr)
+	if !ok {
+		g.stats.Filtered++
+		return
+	}
+	g.stats.Accepted++
+	at += g.cfg.Clock.Duration(mapperCycles + vecEncodeCycles)
+
+	g.win = append(g.win, class)
+	if len(g.win) > g.cfg.Window {
+		g.win = g.win[len(g.win)-g.cfg.Window:]
+	}
+	if len(g.win) < g.cfg.Window {
+		return
+	}
+	g.sinceEmit++
+	if g.sinceEmit < g.cfg.Stride && g.seq > 0 {
+		return
+	}
+	g.sinceEmit = 0
+	vec := Vector{
+		At: at, Seq: g.seq, AcceptedIdx: g.stats.Accepted,
+		Addr: addr, Classes: append([]int32(nil), g.win...),
+	}
+	g.seq++
+	g.stats.Vectors++
+	g.out = append(g.out, vec)
+}
+
+// Take returns and clears the emitted vectors.
+func (g *IGM) Take() []Vector {
+	out := g.out
+	g.out = nil
+	return out
+}
+
+// Stats returns the activity counters.
+func (g *IGM) Stats() Stats { return g.stats }
+
+// Entry is one serialisable lookup-table row.
+type Entry struct {
+	Addr  uint32
+	Class int32
+}
+
+// Entries exports the table contents (branch rows only; the syscall range
+// is a flag, not rows), sorted by class for determinism.
+func (m *AddressMap) Entries() []Entry {
+	out := make([]Entry, 0, len(m.classes))
+	for addr, class := range m.classes {
+		out = append(out, Entry{Addr: addr, Class: class})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// HasSyscalls reports whether the syscall range is admitted.
+func (m *AddressMap) HasSyscalls() bool { return m.syscalls }
+
+// NewAddressMapFromEntries reconstructs a table from exported rows,
+// preserving the original class IDs.
+func NewAddressMapFromEntries(entries []Entry, syscalls bool) *AddressMap {
+	m := NewAddressMap()
+	m.syscalls = syscalls
+	for _, e := range entries {
+		m.classes[e.Addr] = e.Class
+		if e.Class >= m.next {
+			m.next = e.Class + 1
+		}
+	}
+	return m
+}

@@ -1,0 +1,317 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled code image: encoded instruction words placed at a
+// base address, plus the resolved label table. Addresses are byte addresses;
+// instructions sit at Base, Base+4, Base+8, ...
+type Program struct {
+	Base    uint32
+	Words   []uint32
+	Symbols map[string]uint32
+}
+
+// Size returns the program's footprint in bytes.
+func (p *Program) Size() uint32 { return uint32(len(p.Words)) * WordBytes }
+
+// Contains reports whether addr falls inside the program image.
+func (p *Program) Contains(addr uint32) bool {
+	return addr >= p.Base && addr < p.Base+p.Size()
+}
+
+// WordAt returns the encoded instruction at byte address addr.
+func (p *Program) WordAt(addr uint32) (uint32, error) {
+	if !p.Contains(addr) || addr%WordBytes != 0 {
+		return 0, fmt.Errorf("isa: fetch outside program at %#x", addr)
+	}
+	return p.Words[(addr-p.Base)/WordBytes], nil
+}
+
+// Assemble translates assembler source into a Program loaded at base.
+// Syntax: one instruction per line; "name:" defines a label (optionally on
+// the same line as an instruction); ";" or "//" starts a comment; branch
+// targets may be labels or explicit signed word offsets; immediates are
+// written "#n". Two passes: the first sizes the image and resolves labels,
+// the second encodes.
+func Assemble(src string, base uint32) (*Program, error) {
+	if base%WordBytes != 0 {
+		return nil, fmt.Errorf("isa: base address %#x not word aligned", base)
+	}
+	type pending struct {
+		line int
+		text string
+		addr uint32
+	}
+	symbols := make(map[string]uint32)
+	var insns []pending
+
+	addr := base
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		// Consume any leading labels ("a: b: insn" is legal).
+		for {
+			line = strings.TrimSpace(line)
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,#[") {
+				break
+			}
+			name := line[:i]
+			if name == "" {
+				return nil, fmt.Errorf("isa: line %d: empty label", lineNo+1)
+			}
+			if _, dup := symbols[name]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, name)
+			}
+			symbols[name] = addr
+			line = line[i+1:]
+		}
+		if line == "" {
+			continue
+		}
+		insns = append(insns, pending{line: lineNo + 1, text: line, addr: addr})
+		addr += WordBytes
+	}
+
+	p := &Program{Base: base, Symbols: symbols, Words: make([]uint32, 0, len(insns))}
+	for _, pd := range insns {
+		ins, err := parseInstruction(pd.text, pd.addr, symbols)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %v", pd.line, err)
+		}
+		w, err := Encode(ins)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %v", pd.line, err)
+		}
+		p.Words = append(p.Words, w)
+	}
+	return p, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(0); op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parseReg(s string) (Reg, error) {
+	switch s {
+	case "sp":
+		return SP, nil
+	case "lr":
+		return LR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < int(NumRegs) {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("immediate must start with '#': %q", s)
+	}
+	n, err := strconv.ParseInt(s[1:], 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(n), nil
+}
+
+// splitOperands splits "r1, [r2, #4]" style operand lists at top-level commas.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, ch := range s {
+		switch ch {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func parseInstruction(text string, addr uint32, symbols map[string]uint32) (Instruction, error) {
+	fields := strings.SplitN(strings.TrimSpace(text), " ", 2)
+	mnemonic := strings.ToLower(fields[0])
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return Instruction{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	ops := splitOperands(rest)
+	ins := Instruction{Op: op}
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s needs %d operand(s), got %d", op, n, len(ops))
+		}
+		return nil
+	}
+
+	switch op {
+	case NOP, HALT, RET:
+		return ins, need(0)
+
+	case B, BEQ, BNE, BLT, BGE, BL:
+		if err := need(1); err != nil {
+			return ins, err
+		}
+		if target, ok := symbols[ops[0]]; ok {
+			// Offset is relative to the *next* instruction, in words.
+			ins.Imm = (int32(target) - int32(addr+WordBytes)) / WordBytes
+			return ins, nil
+		}
+		if strings.HasPrefix(ops[0], "#") || ops[0][0] == '+' || ops[0][0] == '-' {
+			imm, err := strconv.ParseInt(strings.TrimPrefix(ops[0], "#"), 0, 32)
+			if err != nil {
+				return ins, fmt.Errorf("bad branch offset %q", ops[0])
+			}
+			ins.Imm = int32(imm)
+			return ins, nil
+		}
+		return ins, fmt.Errorf("undefined label %q", ops[0])
+
+	case BR, BLR:
+		if err := need(1); err != nil {
+			return ins, err
+		}
+		rm, err := parseReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rm = rm
+		return ins, nil
+
+	case SVC:
+		if err := need(1); err != nil {
+			return ins, err
+		}
+		imm, err := parseImm(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		ins.Imm = imm
+		return ins, nil
+
+	case LDR, STR:
+		if err := need(2); err != nil {
+			return ins, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rd = rd
+		mem := ops[1]
+		if !strings.HasPrefix(mem, "[") || !strings.HasSuffix(mem, "]") {
+			return ins, fmt.Errorf("memory operand must be [reg, #off]: %q", mem)
+		}
+		parts := splitOperands(mem[1 : len(mem)-1])
+		if len(parts) < 1 || len(parts) > 2 {
+			return ins, fmt.Errorf("bad memory operand %q", mem)
+		}
+		rn, err := parseReg(parts[0])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rn = rn
+		if len(parts) == 2 {
+			off, err := parseImm(parts[1])
+			if err != nil {
+				return ins, err
+			}
+			ins.Imm = off
+		}
+		ins.HasImm = true
+		return ins, nil
+
+	case MOV, MVN:
+		if err := need(2); err != nil {
+			return ins, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rd = rd
+		return parseFlexOperand(ins, ops[1])
+
+	case CMP:
+		if err := need(2); err != nil {
+			return ins, err
+		}
+		rn, err := parseReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rn = rn
+		return parseFlexOperand(ins, ops[1])
+
+	default: // three-operand ALU
+		if err := need(3); err != nil {
+			return ins, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return ins, err
+		}
+		rn, err := parseReg(ops[1])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rd, ins.Rn = rd, rn
+		return parseFlexOperand(ins, ops[2])
+	}
+}
+
+// parseFlexOperand fills the final register-or-immediate operand.
+func parseFlexOperand(ins Instruction, s string) (Instruction, error) {
+	if strings.HasPrefix(s, "#") {
+		imm, err := parseImm(s)
+		if err != nil {
+			return ins, err
+		}
+		ins.Imm = imm
+		ins.HasImm = true
+		return ins, nil
+	}
+	rm, err := parseReg(s)
+	if err != nil {
+		return ins, err
+	}
+	ins.Rm = rm
+	return ins, nil
+}

@@ -1,0 +1,183 @@
+package isa
+
+import "fmt"
+
+// Builder constructs programs instruction-by-instruction with symbolic
+// labels, resolving branch offsets and absolute-address materialisation in a
+// final pass. The workload generators use it instead of text assembly
+// because they need to embed *absolute* label addresses in register-load
+// sequences (for indirect calls through function-pointer values), which a
+// one-pass textual assembler cannot express.
+type Builder struct {
+	base   uint32
+	ins    []Instruction
+	labels map[string]int // label -> instruction index
+
+	branchFixups []branchFixup
+	addrFixups   []addrFixup
+	err          error
+}
+
+type branchFixup struct {
+	index int // instruction to patch
+	label string
+}
+
+// addrFixup marks a three-instruction LoadAddr macro starting at index whose
+// immediates must be rewritten once the label's absolute address is known.
+type addrFixup struct {
+	index int
+	rd    Reg
+	label string
+}
+
+// NewBuilder returns a Builder emitting code at base (word aligned).
+func NewBuilder(base uint32) *Builder {
+	return &Builder{base: base, labels: make(map[string]int)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.ins) }
+
+// Addr returns the byte address the next emitted instruction will occupy.
+func (b *Builder) Addr() uint32 { return b.base + uint32(len(b.ins))*WordBytes }
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa builder: "+format, args...)
+	}
+}
+
+// Label defines name at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.ins)
+}
+
+// Emit appends one instruction.
+func (b *Builder) Emit(ins Instruction) { b.ins = append(b.ins, ins) }
+
+// Op3 emits a three-operand register ALU instruction.
+func (b *Builder) Op3(op Op, rd, rn, rm Reg) {
+	b.Emit(Instruction{Op: op, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// Op3i emits a three-operand immediate ALU instruction.
+func (b *Builder) Op3i(op Op, rd, rn Reg, imm int32) {
+	b.Emit(Instruction{Op: op, Rd: rd, Rn: rn, Imm: imm, HasImm: true})
+}
+
+// MovImm emits rd = imm (13-bit signed range).
+func (b *Builder) MovImm(rd Reg, imm int32) {
+	b.Emit(Instruction{Op: MOV, Rd: rd, Imm: imm, HasImm: true})
+}
+
+// CmpImm emits flags(rn - imm).
+func (b *Builder) CmpImm(rn Reg, imm int32) {
+	b.Emit(Instruction{Op: CMP, Rn: rn, Imm: imm, HasImm: true})
+}
+
+// Cmp emits flags(rn - rm).
+func (b *Builder) Cmp(rn, rm Reg) { b.Emit(Instruction{Op: CMP, Rn: rn, Rm: rm}) }
+
+// Ldr emits rd = mem[rn + off].
+func (b *Builder) Ldr(rd, rn Reg, off int32) {
+	b.Emit(Instruction{Op: LDR, Rd: rd, Rn: rn, Imm: off, HasImm: true})
+}
+
+// Str emits mem[rn + off] = rd.
+func (b *Builder) Str(rd, rn Reg, off int32) {
+	b.Emit(Instruction{Op: STR, Rd: rd, Rn: rn, Imm: off, HasImm: true})
+}
+
+// Branch emits a label-targeted control transfer (B, BEQ, BNE, BLT, BGE, BL).
+func (b *Builder) Branch(op Op, label string) {
+	switch op {
+	case B, BEQ, BNE, BLT, BGE, BL:
+	default:
+		b.fail("Branch called with %v", op)
+		return
+	}
+	b.branchFixups = append(b.branchFixups, branchFixup{index: len(b.ins), label: label})
+	b.Emit(Instruction{Op: op})
+}
+
+// Svc emits a supervisor call with service number n.
+func (b *Builder) Svc(n int32) { b.Emit(Instruction{Op: SVC, Imm: n}) }
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.Emit(Instruction{Op: RET}) }
+
+// Br emits an indirect jump through rm.
+func (b *Builder) Br(rm Reg) { b.Emit(Instruction{Op: BR, Rm: rm}) }
+
+// Blr emits an indirect call through rm.
+func (b *Builder) Blr(rm Reg) { b.Emit(Instruction{Op: BLR, Rm: rm}) }
+
+// LoadAddr materialises the absolute address of label into rd using a fixed
+// three-instruction sequence (MOV high, LSL #12, ORR low), patched at Build
+// time. It supports addresses up to 2^25, far beyond any generated program.
+func (b *Builder) LoadAddr(rd Reg, label string) {
+	b.addrFixups = append(b.addrFixups, addrFixup{index: len(b.ins), rd: rd, label: label})
+	b.MovImm(rd, 0)
+	b.Op3i(LSL, rd, rd, 12)
+	b.Op3i(ORR, rd, rd, 0)
+}
+
+// LoadConst materialises an arbitrary non-negative 24-bit constant into rd
+// with the same three-instruction pattern (no fixup needed).
+func (b *Builder) LoadConst(rd Reg, v uint32) {
+	if v >= 1<<24 {
+		b.fail("LoadConst %#x out of range", v)
+		return
+	}
+	b.MovImm(rd, int32(v>>12))
+	b.Op3i(LSL, rd, rd, 12)
+	b.Op3i(ORR, rd, rd, int32(v&0xfff))
+}
+
+// Build resolves all fixups and encodes the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.branchFixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa builder: undefined label %q", f.label)
+		}
+		b.ins[f.index].Imm = int32(target - (f.index + 1))
+	}
+	for _, f := range b.addrFixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa builder: undefined label %q", f.label)
+		}
+		addr := b.base + uint32(target)*WordBytes
+		if addr >= 1<<25 {
+			return nil, fmt.Errorf("isa builder: label %q address %#x too large", f.label, addr)
+		}
+		b.ins[f.index].Imm = int32(addr >> 12)
+		b.ins[f.index+2].Imm = int32(addr & 0xfff)
+	}
+
+	p := &Program{
+		Base:    b.base,
+		Words:   make([]uint32, len(b.ins)),
+		Symbols: make(map[string]uint32, len(b.labels)),
+	}
+	for name, idx := range b.labels {
+		p.Symbols[name] = b.base + uint32(idx)*WordBytes
+	}
+	for i, ins := range b.ins {
+		w, err := Encode(ins)
+		if err != nil {
+			return nil, fmt.Errorf("isa builder: instruction %d (%v): %v", i, ins, err)
+		}
+		p.Words[i] = w
+	}
+	return p, nil
+}

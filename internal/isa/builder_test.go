@@ -1,0 +1,127 @@
+package isa
+
+import "testing"
+
+func TestBuilderBranchFixup(t *testing.T) {
+	b := NewBuilder(0x8000)
+	b.Label("top")
+	b.MovImm(R0, 1)
+	b.Branch(B, "top")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Decode(p.Words[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Op != B || ins.Imm != -2 {
+		t.Errorf("branch = %v, want b -2", ins)
+	}
+}
+
+func TestBuilderForwardBranch(t *testing.T) {
+	b := NewBuilder(0)
+	b.Branch(BEQ, "fwd")
+	b.Emit(Instruction{Op: NOP})
+	b.Emit(Instruction{Op: NOP})
+	b.Label("fwd")
+	b.Emit(Instruction{Op: HALT})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, _ := Decode(p.Words[0])
+	if ins.Imm != 2 {
+		t.Errorf("forward offset = %d, want 2", ins.Imm)
+	}
+}
+
+func TestBuilderLoadAddr(t *testing.T) {
+	b := NewBuilder(0x8000)
+	b.LoadAddr(R4, "func")
+	b.Blr(R4)
+	b.Emit(Instruction{Op: HALT})
+	b.Label("func")
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Symbols["func"]
+	if want != 0x8000+5*WordBytes {
+		t.Fatalf("func at %#x, layout unexpected", want)
+	}
+	// Decode the three-instruction macro and evaluate it.
+	mov, _ := Decode(p.Words[0])
+	lsl, _ := Decode(p.Words[1])
+	orr, _ := Decode(p.Words[2])
+	got := (uint32(mov.Imm) << uint32(lsl.Imm)) | uint32(orr.Imm)
+	if got != want {
+		t.Errorf("LoadAddr materialises %#x, want %#x", got, want)
+	}
+}
+
+func TestBuilderLoadConst(t *testing.T) {
+	for _, v := range []uint32{0, 1, 4095, 4096, 0x123456, 1<<24 - 1} {
+		b := NewBuilder(0)
+		b.LoadConst(R2, v)
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("LoadConst(%#x): %v", v, err)
+		}
+		mov, _ := Decode(p.Words[0])
+		lsl, _ := Decode(p.Words[1])
+		orr, _ := Decode(p.Words[2])
+		got := (uint32(mov.Imm) << uint32(lsl.Imm)) | uint32(orr.Imm)
+		if got != v {
+			t.Errorf("LoadConst(%#x) materialises %#x", v, got)
+		}
+	}
+	b := NewBuilder(0)
+	b.LoadConst(R0, 1<<24)
+	if _, err := b.Build(); err == nil {
+		t.Error("LoadConst out of range accepted")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(0)
+	b.Branch(B, "missing")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined branch label accepted")
+	}
+
+	b2 := NewBuilder(0)
+	b2.Label("x")
+	b2.Label("x")
+	b2.Emit(Instruction{Op: NOP})
+	if _, err := b2.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+
+	b3 := NewBuilder(0)
+	b3.Branch(ADD, "x")
+	b3.Label("x")
+	if _, err := b3.Build(); err == nil {
+		t.Error("non-branch opcode in Branch accepted")
+	}
+
+	b4 := NewBuilder(0)
+	b4.LoadAddr(R0, "missing")
+	if _, err := b4.Build(); err == nil {
+		t.Error("undefined LoadAddr label accepted")
+	}
+}
+
+func TestBuilderAddrTracking(t *testing.T) {
+	b := NewBuilder(0x100)
+	if b.Addr() != 0x100 {
+		t.Errorf("initial Addr = %#x", b.Addr())
+	}
+	b.Emit(Instruction{Op: NOP})
+	b.Emit(Instruction{Op: NOP})
+	if b.Addr() != 0x108 || b.Len() != 2 {
+		t.Errorf("Addr = %#x Len = %d after 2 emits", b.Addr(), b.Len())
+	}
+}

@@ -1,0 +1,149 @@
+package isa
+
+import "fmt"
+
+// Binary layout (32-bit words, big fields first):
+//
+//	[31:26] opcode
+//	[25:22] rd
+//	[21:18] rn
+//	[17:14] rm
+//	[13]    immediate form flag
+//	[12:0]  signed 13-bit immediate (ALU/MOV/CMP/LDR/STR offset)
+//
+// Branch forms reuse the low 22 bits [21:0] as a signed word offset, and SVC
+// uses [21:0] as its service number. The layout is not ARM's, but it is a
+// fixed-width encoding with the properties the simulation needs: every
+// instruction occupies exactly four bytes, and Encode/Decode round-trip.
+const (
+	immBits    = 13
+	immMax     = 1<<(immBits-1) - 1
+	immMin     = -(1 << (immBits - 1))
+	branchBits = 22
+	branchMax  = 1<<(branchBits-1) - 1
+	branchMin  = -(1 << (branchBits - 1))
+	svcMax     = 1<<branchBits - 1
+)
+
+// Encode packs ins into its 32-bit binary form. It returns an error if an
+// immediate or offset does not fit its field, or if a register index is out
+// of range.
+func Encode(ins Instruction) (uint32, error) {
+	if ins.Op >= numOps {
+		return 0, fmt.Errorf("isa: invalid opcode %d", ins.Op)
+	}
+	if ins.Rd >= NumRegs || ins.Rn >= NumRegs || ins.Rm >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", ins)
+	}
+	w := uint32(ins.Op) << 26
+	switch ins.Op {
+	case B, BEQ, BNE, BLT, BGE, BL:
+		if ins.Imm < branchMin || ins.Imm > branchMax {
+			return 0, fmt.Errorf("isa: branch offset %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Imm) & (1<<branchBits - 1)
+	case SVC:
+		if ins.Imm < 0 || ins.Imm > svcMax {
+			return 0, fmt.Errorf("isa: svc number %d out of range", ins.Imm)
+		}
+		w |= uint32(ins.Imm)
+	case BR, BLR:
+		w |= uint32(ins.Rm) << 14
+	case NOP, HALT, RET:
+		// no operands
+	default: // ALU, moves, compare, memory
+		w |= uint32(ins.Rd) << 22
+		w |= uint32(ins.Rn) << 18
+		if ins.HasImm || ins.Op == LDR || ins.Op == STR {
+			if ins.Imm < immMin || ins.Imm > immMax {
+				return 0, fmt.Errorf("isa: immediate %d out of range", ins.Imm)
+			}
+			w |= 1 << 13
+			w |= uint32(ins.Imm) & (1<<immBits - 1)
+		} else {
+			w |= uint32(ins.Rm) << 14
+		}
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for known-valid instructions; it panics on error.
+// The workload generators use it because they construct instructions from
+// validated templates.
+func MustEncode(ins Instruction) uint32 {
+	w, err := Encode(ins)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// signExtend interprets the low n bits of v as a signed value.
+func signExtend(v uint32, n uint) int32 {
+	shift := 32 - n
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit word into an Instruction. It returns an error for
+// opcodes outside the defined set (all field patterns inside a valid opcode
+// decode to something, as in real hardware).
+func Decode(w uint32) (Instruction, error) {
+	op := Op(w >> 26)
+	if op >= numOps {
+		return Instruction{}, fmt.Errorf("isa: undefined opcode %d in %#08x", op, w)
+	}
+	ins := Instruction{Op: op}
+	switch op {
+	case B, BEQ, BNE, BLT, BGE, BL:
+		ins.Imm = signExtend(w&(1<<branchBits-1), branchBits)
+	case SVC:
+		ins.Imm = int32(w & (1<<branchBits - 1))
+	case BR, BLR:
+		ins.Rm = Reg(w >> 14 & 0xf)
+	case NOP, HALT, RET:
+	default:
+		ins.Rd = Reg(w >> 22 & 0xf)
+		ins.Rn = Reg(w >> 18 & 0xf)
+		if w&(1<<13) != 0 {
+			ins.HasImm = true
+			ins.Imm = signExtend(w&(1<<immBits-1), immBits)
+		} else {
+			ins.Rm = Reg(w >> 14 & 0xf)
+		}
+	}
+	return ins, nil
+}
+
+// String renders ins in assembler syntax, the inverse of Assemble for a
+// single instruction.
+func (ins Instruction) String() string {
+	switch ins.Op {
+	case NOP, HALT, RET:
+		return ins.Op.String()
+	case B, BEQ, BNE, BLT, BGE, BL:
+		return fmt.Sprintf("%s %+d", ins.Op, ins.Imm)
+	case SVC:
+		return fmt.Sprintf("svc #%d", ins.Imm)
+	case BR, BLR:
+		return fmt.Sprintf("%s %s", ins.Op, ins.Rm)
+	case LDR:
+		return fmt.Sprintf("ldr %s, [%s, #%d]", ins.Rd, ins.Rn, ins.Imm)
+	case STR:
+		return fmt.Sprintf("str %s, [%s, #%d]", ins.Rd, ins.Rn, ins.Imm)
+	case MOV, MVN:
+		if ins.HasImm {
+			return fmt.Sprintf("%s %s, #%d", ins.Op, ins.Rd, ins.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s", ins.Op, ins.Rd, ins.Rm)
+	case CMP:
+		if ins.HasImm {
+			return fmt.Sprintf("cmp %s, #%d", ins.Rn, ins.Imm)
+		}
+		return fmt.Sprintf("cmp %s, %s", ins.Rn, ins.Rm)
+	default:
+		if ins.HasImm {
+			return fmt.Sprintf("%s %s, %s, #%d", ins.Op, ins.Rd, ins.Rn, ins.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", ins.Op, ins.Rd, ins.Rn, ins.Rm)
+	}
+}

@@ -1,0 +1,182 @@
+// Package isa defines the instruction set of the simulated host CPU: a
+// 32-bit ARM-flavoured RISC subset with sixteen general registers, NZCV-style
+// comparison flags, direct/conditional/indirect branches, calls, returns and
+// a supervisor-call trap. The set is deliberately small — the RTAD
+// evaluation depends on the *dynamic control-flow behaviour* of workloads
+// (branch, call and syscall event streams), not on ARM's full architectural
+// surface — but it is a real executable ISA with an assembler, an encoder to
+// fixed 32-bit words and a disassembler, so that workloads are genuine
+// programs with genuine program-counter values for CoreSight-style tracing.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the sixteen general-purpose registers. By software
+// convention (mirroring AAPCS): R0–R3 hold arguments and return values,
+// R4–R11 are callee-saved locals, R12 is the scratch register, SP (R13) is
+// the stack pointer and LR (R14) the link register. The program counter is
+// architectural state outside the register file.
+type Reg uint8
+
+// Named registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13
+	LR // R14
+	R15
+
+	NumRegs = 16
+)
+
+// String returns the assembler spelling of r.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcodes. The order is frozen by the binary encoding (Encode/Decode).
+const (
+	NOP Op = iota
+	HALT
+	// Three-operand ALU: rd = rn OP (rm | #imm).
+	ADD
+	SUB
+	AND
+	ORR
+	EOR
+	LSL
+	LSR
+	ASR
+	MUL
+	// Two-operand moves: rd = (rm | #imm), rd = ^(rm | #imm).
+	MOV
+	MVN
+	// Flag-setting compare: flags(rn - (rm | #imm)).
+	CMP
+	// Memory: rd = mem[rn + #imm], mem[rn + #imm] = rd.
+	LDR
+	STR
+	// Direct branches (PC-relative word offsets).
+	B
+	BEQ
+	BNE
+	BLT
+	BGE
+	// Direct call: lr = return address, pc = target.
+	BL
+	// Indirect control flow through a register.
+	BR  // pc = rm
+	BLR // lr = return address, pc = rm
+	RET // pc = lr
+	// Supervisor call with an immediate service number.
+	SVC
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", HALT: "halt",
+	ADD: "add", SUB: "sub", AND: "and", ORR: "orr", EOR: "eor",
+	LSL: "lsl", LSR: "lsr", ASR: "asr", MUL: "mul",
+	MOV: "mov", MVN: "mvn", CMP: "cmp",
+	LDR: "ldr", STR: "str",
+	B: "b", BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	BL: "bl", BR: "br", BLR: "blr", RET: "ret", SVC: "svc",
+}
+
+// String returns the assembler mnemonic of op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsBranch reports whether op can redirect control flow.
+func (op Op) IsBranch() bool {
+	switch op {
+	case B, BEQ, BNE, BLT, BGE, BL, BR, BLR, RET, SVC:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether op's branching depends on the flags.
+func (op Op) IsConditional() bool {
+	switch op {
+	case BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether op's target comes from a register rather than
+// the instruction encoding. Indirect transfers are the ones a PFT-style
+// trace unit must describe with full branch-address packets.
+func (op Op) IsIndirect() bool {
+	switch op {
+	case BR, BLR, RET:
+		return true
+	}
+	return false
+}
+
+// Instruction is one decoded instruction. Imm is interpreted per opcode:
+// a signed operand for ALU/memory forms, a signed word offset for direct
+// branches, and the service number for SVC.
+type Instruction struct {
+	Op     Op
+	Rd     Reg
+	Rn     Reg
+	Rm     Reg
+	Imm    int32
+	HasImm bool // ALU/MOV/MVN/CMP use Imm instead of Rm
+}
+
+// WordBytes is the size of one encoded instruction.
+const WordBytes = 4
+
+// Cycles returns the base execution cost of op in CPU cycles, before any
+// branch-taken penalty the core model adds. The costs approximate an
+// in-order embedded pipeline: single-cycle ALU, short multiplier, two-cycle
+// loads/stores against local SRAM, and an expensive kernel round trip for
+// supervisor calls.
+func (op Op) Cycles() int64 {
+	switch op {
+	case MUL:
+		return 3
+	case LDR, STR:
+		return 2
+	case SVC:
+		return 60 // trap entry, minimal kernel service, return
+	case HALT:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// BranchTakenPenalty is the extra cycle cost of any taken control transfer
+// (pipeline refill on a simple in-order core).
+const BranchTakenPenalty int64 = 2

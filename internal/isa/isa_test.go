@@ -1,0 +1,332 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{{R0, "r0"}, {R12, "r12"}, {SP, "sp"}, {LR, "lr"}}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	branches := []Op{B, BEQ, BNE, BLT, BGE, BL, BR, BLR, RET, SVC}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%v.IsBranch() = false", op)
+		}
+	}
+	for _, op := range []Op{NOP, ADD, LDR, CMP, MOV, HALT} {
+		if op.IsBranch() {
+			t.Errorf("%v.IsBranch() = true", op)
+		}
+	}
+	for _, op := range []Op{BEQ, BNE, BLT, BGE} {
+		if !op.IsConditional() {
+			t.Errorf("%v.IsConditional() = false", op)
+		}
+	}
+	if B.IsConditional() || BL.IsConditional() {
+		t.Error("B/BL should not be conditional")
+	}
+	for _, op := range []Op{BR, BLR, RET} {
+		if !op.IsIndirect() {
+			t.Errorf("%v.IsIndirect() = false", op)
+		}
+	}
+	if B.IsIndirect() || BL.IsIndirect() {
+		t.Error("direct branches must not be indirect")
+	}
+}
+
+func TestEncodeDecodeExamples(t *testing.T) {
+	cases := []Instruction{
+		{Op: NOP},
+		{Op: HALT},
+		{Op: ADD, Rd: R1, Rn: R2, Rm: R3},
+		{Op: SUB, Rd: R4, Rn: R4, Imm: -7, HasImm: true},
+		{Op: MOV, Rd: R0, Imm: 4095, HasImm: true},
+		{Op: MVN, Rd: R9, Rm: R8},
+		{Op: CMP, Rn: R3, Imm: 0, HasImm: true},
+		{Op: LDR, Rd: R5, Rn: SP, Imm: 16, HasImm: true},
+		{Op: STR, Rd: R6, Rn: R7, Imm: -32, HasImm: true},
+		{Op: B, Imm: -1000},
+		{Op: BEQ, Imm: 2000},
+		{Op: BL, Imm: 12345},
+		{Op: BR, Rm: R12},
+		{Op: BLR, Rm: R4},
+		{Op: RET},
+		{Op: SVC, Imm: 42},
+	}
+	for _, ins := range cases {
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", ins, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != ins {
+			t.Errorf("round-trip %v -> %#08x -> %v", ins, w, got)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Instruction{
+		{Op: ADD, Rd: R0, Rn: R0, Imm: 5000, HasImm: true},
+		{Op: ADD, Rd: R0, Rn: R0, Imm: -5000, HasImm: true},
+		{Op: B, Imm: 1 << 22},
+		{Op: SVC, Imm: -1},
+		{Op: numOps},
+	}
+	for _, ins := range bad {
+		if _, err := Encode(ins); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", ins)
+		}
+	}
+}
+
+func TestDecodeUndefinedOpcode(t *testing.T) {
+	w := uint32(uint32(numOps) << 26)
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode of undefined opcode succeeded")
+	}
+}
+
+// Property: every valid instruction round-trips through Encode/Decode.
+func TestEncodeDecodeProperty(t *testing.T) {
+	gen := func(r *rand.Rand) Instruction {
+		op := Op(r.Intn(int(numOps)))
+		ins := Instruction{Op: op}
+		switch op {
+		case B, BEQ, BNE, BLT, BGE, BL:
+			ins.Imm = int32(r.Intn(1<<22)) - 1<<21
+		case SVC:
+			ins.Imm = int32(r.Intn(1 << 22))
+		case BR, BLR:
+			ins.Rm = Reg(r.Intn(16))
+		case NOP, HALT, RET:
+		case LDR, STR:
+			ins.Rd = Reg(r.Intn(16))
+			ins.Rn = Reg(r.Intn(16))
+			ins.Imm = int32(r.Intn(1<<13)) - 1<<12
+			ins.HasImm = true
+		default:
+			ins.Rd = Reg(r.Intn(16))
+			ins.Rn = Reg(r.Intn(16))
+			if r.Intn(2) == 0 {
+				ins.HasImm = true
+				ins.Imm = int32(r.Intn(1<<13)) - 1<<12
+			} else {
+				ins.Rm = Reg(r.Intn(16))
+			}
+		}
+		// CMP ignores Rd; MOV/MVN ignore Rn. Zero them so equality holds.
+		switch op {
+		case CMP:
+			ins.Rd = 0
+		case MOV, MVN:
+			ins.Rn = 0
+		}
+		return ins
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		ins := gen(r)
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", ins, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if got != ins {
+			t.Fatalf("round-trip %v -> %v", ins, got)
+		}
+	}
+}
+
+// Property: assembler output re-assembles to the same words (String is a
+// faithful disassembly).
+func TestDisassemblyRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ins := Instruction{Op: ADD, Rd: Reg(r.Intn(16)), Rn: Reg(r.Intn(16))}
+		if r.Intn(2) == 0 {
+			ins.HasImm = true
+			ins.Imm = int32(r.Intn(100)) - 50
+		} else {
+			ins.Rm = Reg(r.Intn(16))
+		}
+		w := MustEncode(ins)
+		p, err := Assemble(ins.String(), 0)
+		if err != nil {
+			return false
+		}
+		return len(p.Words) == 1 && p.Words[0] == w
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+const sampleProgram = `
+; compute 10 iterations of a loop with a call and a syscall
+start:
+    mov r0, #0
+    mov r1, #10
+loop:
+    cmp r0, r1
+    bge done
+    add r0, r0, #1
+    bl  helper
+    b   loop
+helper:
+    str r0, [sp, #0]
+    ldr r2, [sp, #0]
+    svc #3
+    ret
+done:
+    halt
+`
+
+func TestAssembleSample(t *testing.T) {
+	p, err := Assemble(sampleProgram, 0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 12 {
+		t.Fatalf("assembled %d words, want 12", len(p.Words))
+	}
+	wantSyms := map[string]uint32{
+		"start":  0x8000,
+		"loop":   0x8008,
+		"helper": 0x801c,
+		"done":   0x802c,
+	}
+	for name, addr := range wantSyms {
+		if got := p.Symbols[name]; got != addr {
+			t.Errorf("symbol %s = %#x, want %#x", name, got, addr)
+		}
+	}
+	// "bge done" sits at 0x800c; offset to 0x802c is (0x802c-0x8010)/4 = 7.
+	w, err := p.WordAt(0x800c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Op != BGE || ins.Imm != 7 {
+		t.Errorf("bge done decoded as %v, want bge +7", ins)
+	}
+	// Backward branch "b loop" at 0x8018: (0x8008-0x801c)/4 = -5.
+	w, _ = p.WordAt(0x8018)
+	ins, _ = Decode(w)
+	if ins.Op != B || ins.Imm != -5 {
+		t.Errorf("b loop decoded as %v, want b -5", ins)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frob r0, r1, r2"},
+		{"undefined label", "b nowhere"},
+		{"duplicate label", "a:\na:\nnop"},
+		{"bad register", "mov r99, #1"},
+		{"missing operand", "add r0, r1"},
+		{"bad immediate", "mov r0, #zz"},
+		{"bad memory operand", "ldr r0, r1"},
+		{"empty label", ": nop"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src, 0); err == nil {
+			t.Errorf("%s: Assemble succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestAssembleBaseAlignment(t *testing.T) {
+	if _, err := Assemble("nop", 2); err == nil {
+		t.Error("unaligned base accepted")
+	}
+}
+
+func TestProgramBounds(t *testing.T) {
+	p, err := Assemble("nop\nnop", 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 8 {
+		t.Errorf("Size = %d, want 8", p.Size())
+	}
+	if !p.Contains(0x104) || p.Contains(0x108) || p.Contains(0xfc) {
+		t.Error("Contains bounds wrong")
+	}
+	if _, err := p.WordAt(0x102); err == nil {
+		t.Error("unaligned WordAt succeeded")
+	}
+	if _, err := p.WordAt(0x108); err == nil {
+		t.Error("out-of-range WordAt succeeded")
+	}
+}
+
+func TestAssembleCommentsAndLabelsOnSameLine(t *testing.T) {
+	src := "start: mov r0, #1 // set up\n b start ; spin"
+	p, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 2 {
+		t.Fatalf("got %d words, want 2", len(p.Words))
+	}
+	ins, _ := Decode(p.Words[1])
+	if ins.Op != B || ins.Imm != -2 {
+		t.Errorf("branch = %v, want b -2", ins)
+	}
+}
+
+func TestInstructionStringForms(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: NOP}, "nop"},
+		{Instruction{Op: SVC, Imm: 7}, "svc #7"},
+		{Instruction{Op: LDR, Rd: R1, Rn: SP, Imm: 4, HasImm: true}, "ldr r1, [sp, #4]"},
+		{Instruction{Op: CMP, Rn: R2, Rm: R3}, "cmp r2, r3"},
+		{Instruction{Op: B, Imm: -5}, "b -5"},
+		{Instruction{Op: BLR, Rm: R4}, "blr r4"},
+	}
+	for _, c := range cases {
+		if got := c.ins.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpStringCoversAll(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}

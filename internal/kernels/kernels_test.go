@@ -1,0 +1,369 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtad/internal/gpu"
+	"rtad/internal/ml"
+)
+
+// markovWindows mirrors the ml package's synthetic learnable stream.
+func markovWindows(vocab, window, n int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	succ := make([][]int32, vocab)
+	for c := range succ {
+		succ[c] = []int32{int32((c + 1) % vocab), int32((c + 1) % vocab), int32((c + 3) % vocab), int32(rng.Intn(vocab))}
+	}
+	cur := int32(0)
+	stream := make([]int32, n+window)
+	for i := range stream {
+		stream[i] = cur
+		cur = succ[cur][rng.Intn(4)]
+	}
+	out := make([][]int32, n)
+	for i := range out {
+		out[i] = stream[i : i+window]
+	}
+	return out
+}
+
+func trainELM(t *testing.T) *ml.ELM {
+	t.Helper()
+	cfg := ml.DefaultELMConfig()
+	m, err := ml.TrainELM(cfg, markovWindows(cfg.Vocab, cfg.Window, 1500, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Threshold = 0.5
+	return m
+}
+
+func trainLSTM(t *testing.T) *ml.LSTM {
+	t.Helper()
+	cfg := ml.DefaultLSTMConfig()
+	cfg.Epochs = 1
+	m, err := ml.TrainLSTM(cfg, markovWindows(cfg.Vocab, cfg.Window, 600, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Threshold = 0.5
+	return m
+}
+
+func TestELMKernelMatchesReferenceBitExact(t *testing.T) {
+	model := trainELM(t)
+	dev := gpu.NewDevice(ELMMemEnd, 1)
+	eng, err := NewELMEngine(dev, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := markovWindows(ELMVocab, ELMWindow, 40, 42)
+	for i, w := range windows {
+		got, cycles, err := eng.Infer(w)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		want, err := eng.InferRef(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("window %d: device %+v != reference %+v", i, got, want)
+		}
+		if cycles <= 0 {
+			t.Fatal("no cycles accounted")
+		}
+	}
+}
+
+func TestELMKernelAgreesWithFloatModel(t *testing.T) {
+	model := trainELM(t)
+	dev := gpu.NewDevice(ELMMemEnd, 1)
+	eng, err := NewELMEngine(dev, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := markovWindows(ELMVocab, ELMWindow, 30, 13)
+	for i, w := range windows {
+		got, _, err := eng.Infer(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.Score(w)
+		if diff := ml.FromQ(got.MarginQ) - want; diff > 0.08 || diff < -0.08 {
+			t.Errorf("window %d: fixed-point margin %.4f vs float %.4f", i, ml.FromQ(got.MarginQ), want)
+		}
+	}
+}
+
+func TestELMLatencyConstantAcrossInputs(t *testing.T) {
+	model := trainELM(t)
+	dev := gpu.NewDevice(ELMMemEnd, 1)
+	eng, err := NewELMEngine(dev, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first int64
+	for i, w := range markovWindows(ELMVocab, ELMWindow, 10, 3) {
+		_, cycles, err := eng.Infer(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = cycles
+		} else if cycles != first {
+			t.Fatalf("ELM inference cycles vary: %d vs %d — Fig 8 expects constant", cycles, first)
+		}
+	}
+}
+
+func TestELMFiveCUSpeedup(t *testing.T) {
+	model := trainELM(t)
+	w := markovWindows(ELMVocab, ELMWindow, 1, 5)[0]
+
+	d1 := gpu.NewDevice(ELMMemEnd, 1)
+	e1, _ := NewELMEngine(d1, model)
+	_, c1, err := e1.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5 := gpu.NewDevice(ELMMemEnd, 5)
+	e5, _ := NewELMEngine(d5, model)
+	j5, c5, err := e5.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := e1.InferRef(w)
+	_ = j1
+	speedup := float64(c1) / float64(c5)
+	if speedup < 2.0 || speedup > 5.0 {
+		t.Errorf("ELM 5-CU speedup %.2fx outside the plausible 2-5x band (paper: 3.29x)", speedup)
+	}
+	// Same judgment regardless of CU count.
+	d1b := gpu.NewDevice(ELMMemEnd, 1)
+	e1b, _ := NewELMEngine(d1b, model)
+	j1b, _, _ := e1b.Infer(w)
+	if j1b != j5 {
+		t.Error("judgment depends on CU count")
+	}
+}
+
+func TestLSTMKernelMatchesReferenceBitExact(t *testing.T) {
+	model := trainLSTM(t)
+	dev := gpu.NewDevice(LSTMMemEnd, 1)
+	eng, err := NewLSTMEngine(dev, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := markovWindows(LSTMVocab, LSTMWindow, 30, 44)
+	for i, w := range windows {
+		got, cycles, err := eng.Infer(w)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		want, err := eng.InferRef(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("step %d: device %+v != reference %+v", i, got, want)
+		}
+		if cycles <= 0 {
+			t.Fatal("no cycles accounted")
+		}
+	}
+	// The recurrent state must have evolved in device memory.
+	var nonzero bool
+	for i := 0; i < LSTMHidden; i++ {
+		if dev.Mem[LSTMH+i] != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("hidden state still zero after 30 steps")
+	}
+}
+
+func TestLSTMKernelTracksFloatModel(t *testing.T) {
+	model := trainLSTM(t)
+	dev := gpu.NewDevice(LSTMMemEnd, 1)
+	eng, err := NewLSTMEngine(dev, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := model.NewState()
+	var worst float64
+	for _, w := range markovWindows(LSTMVocab, LSTMWindow, 25, 15) {
+		got, _, err := eng.Infer(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.Score(st, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := ml.FromQ(got.MarginQ) - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+	}
+	// Fixed-point LSTM drifts from the float model over time (LUT
+	// activations, Q16.16 rounding through the recurrence); it must stay
+	// within a usable band.
+	if worst > 0.35 {
+		t.Errorf("fixed-point margin drifts %.3f from float model", worst)
+	}
+}
+
+func TestLSTMFiveCUSpeedup(t *testing.T) {
+	model := trainLSTM(t)
+	w := markovWindows(LSTMVocab, LSTMWindow, 1, 5)[0]
+	d1 := gpu.NewDevice(LSTMMemEnd, 1)
+	e1, _ := NewLSTMEngine(d1, model)
+	_, c1, err := e1.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5 := gpu.NewDevice(LSTMMemEnd, 5)
+	e5, _ := NewLSTMEngine(d5, model)
+	_, c5, err := e5.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(c1) / float64(c5)
+	if speedup < 1.5 || speedup > 4.0 {
+		t.Errorf("LSTM 5-CU speedup %.2fx outside the plausible 1.5-4x band (paper: 2.22x)", speedup)
+	}
+	// LSTM gains less from extra CUs than ELM: the update/readout stage is
+	// a serial bottleneck (Fig 8's asymmetry).
+	dE1 := gpu.NewDevice(ELMMemEnd, 1)
+	elm := trainELM(t)
+	eE1, _ := NewELMEngine(dE1, elm)
+	we := markovWindows(ELMVocab, ELMWindow, 1, 6)[0]
+	_, ce1, _ := eE1.Infer(we)
+	dE5 := gpu.NewDevice(ELMMemEnd, 5)
+	eE5, _ := NewELMEngine(dE5, elm)
+	_, ce5, _ := eE5.Infer(we)
+	if float64(ce1)/float64(ce5) <= speedup {
+		t.Errorf("expected ELM speedup (%.2f) > LSTM speedup (%.2f)",
+			float64(ce1)/float64(ce5), speedup)
+	}
+}
+
+func TestLSTMSlowerThanELM(t *testing.T) {
+	// Fig 8: LSTM inference is several times slower than ELM on the same
+	// hardware.
+	elm := trainELM(t)
+	lstm := trainLSTM(t)
+	dE := gpu.NewDevice(ELMMemEnd, 1)
+	eE, _ := NewELMEngine(dE, elm)
+	_, ce, err := eE.Infer(markovWindows(ELMVocab, ELMWindow, 1, 2)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dL := gpu.NewDevice(LSTMMemEnd, 1)
+	eL, _ := NewLSTMEngine(dL, lstm)
+	_, cl, err := eL.Infer(markovWindows(LSTMVocab, LSTMWindow, 1, 2)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl <= ce {
+		t.Errorf("LSTM (%d cycles) not slower than ELM (%d cycles)", cl, ce)
+	}
+}
+
+func TestImageShapeValidation(t *testing.T) {
+	cfg := ml.DefaultELMConfig()
+	cfg.Hidden = 40
+	bad, err := ml.TrainELM(cfg, markovWindows(cfg.Vocab, cfg.Window, 500, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildELMImage(bad); err == nil {
+		t.Error("mismatched ELM shape accepted")
+	}
+	lcfg := ml.DefaultLSTMConfig()
+	lcfg.Hidden = 16
+	lcfg.Epochs = 1
+	badL, err := ml.TrainLSTM(lcfg, markovWindows(lcfg.Vocab, lcfg.Window, 200, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildLSTMImage(badL); err == nil {
+		t.Error("mismatched LSTM shape accepted")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	dev := gpu.NewDevice(ELMMemEnd, 1)
+	eng, err := NewELMEngine(dev, trainELM(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Infer([]int32{1, 2, 3}); err == nil {
+		t.Error("short window accepted")
+	}
+	w := make([]int32, ELMWindow)
+	w[0] = ELMVocab
+	if _, _, err := eng.Infer(w); err == nil {
+		t.Error("out-of-vocab class accepted")
+	}
+}
+
+func TestThresholdGatesAnomalyFlag(t *testing.T) {
+	model := trainELM(t)
+	w := markovWindows(ELMVocab, ELMWindow, 1, 77)[0]
+
+	// A hostile threshold below any score must flag immediately; a huge
+	// threshold must never flag.
+	model.Threshold = -1
+	devLow := gpu.NewDevice(ELMMemEnd, 1)
+	engLow, _ := NewELMEngine(devLow, model)
+	jLow, _, err := engLow.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jLow.Anomaly {
+		t.Error("sub-zero threshold did not flag")
+	}
+	model.Threshold = 1e4
+	devHigh := gpu.NewDevice(ELMMemEnd, 1)
+	engHigh, _ := NewELMEngine(devHigh, model)
+	jHigh, _, err := engHigh.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jHigh.Anomaly {
+		t.Error("huge threshold flagged")
+	}
+}
+
+func TestEwmaPersistsAcrossInferences(t *testing.T) {
+	model := trainELM(t)
+	dev := gpu.NewDevice(ELMMemEnd, 1)
+	eng, _ := NewELMEngine(dev, model)
+	windows := markovWindows(ELMVocab, ELMWindow, 12, 31)
+	var prev int32
+	moved := false
+	for i, w := range windows {
+		j, _, err := eng.Infer(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The device-resident EWMA must match what the engine reports.
+		if got := int32(dev.Mem[ELMEwma]); got != j.EwmaQ {
+			t.Fatalf("step %d: device ewma %d != judgment %d", i, got, j.EwmaQ)
+		}
+		if i > 0 && j.EwmaQ != prev {
+			moved = true
+		}
+		prev = j.EwmaQ
+	}
+	if !moved {
+		t.Error("EWMA never moved across a dozen inferences")
+	}
+}

@@ -1,0 +1,262 @@
+// Package mcm implements RTAD's ML Computing Module (§III-B, Fig 3): the
+// block between IGM and ML-MIAOW. It contains the internal vector FIFO
+// (whose overflow under branch pressure is the 471.omnetpp effect of Fig 8),
+// the control FSM stepping through WAIT_INPUT → READ_INPUT → WRITE_INPUT →
+// WAIT_DONE → READ_RESULT, the TX engine that writes input vectors and
+// control registers into ML-MIAOW memory, the protocol converter that
+// adapts IGM class IDs to the model's input alphabet, the RX engine that
+// reads results back, and the interrupt manager that raises the host IRQ
+// on an anomaly verdict.
+package mcm
+
+import (
+	"fmt"
+
+	"rtad/internal/axi"
+	"rtad/internal/igm"
+	"rtad/internal/kernels"
+	"rtad/internal/sim"
+)
+
+// State enumerates the control FSM states of Fig 3.
+type State uint8
+
+// FSM states.
+const (
+	WaitInput State = iota
+	ReadInput
+	WriteInput
+	WaitDone
+	ReadResult
+)
+
+var stateNames = []string{"WAIT_INPUT", "READ_INPUT", "WRITE_INPUT", "WAIT_DONE", "READ_RESULT"}
+
+// String names the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Engine abstracts the inference engine running on ML-MIAOW (the ELM and
+// LSTM engines of internal/kernels satisfy it).
+type Engine interface {
+	// Window is the input-vector length the engine consumes.
+	Window() int
+	// Infer runs one inference and returns the judgment plus GPU cycles.
+	Infer(window []int32) (kernels.Judgment, int64, error)
+}
+
+// Config parameterises the module.
+type Config struct {
+	Engine Engine
+	// Translate is the protocol converter: it maps an IGM class ID to the
+	// model's class alphabet. Nil means identity. A negative result drops
+	// the element (vector is skipped as malformed).
+	Translate func(int32) int32
+	// FIFODepth is the internal vector FIFO capacity.
+	FIFODepth int
+	// Bus is the SoC interconnect the TX/RX engines master; nil builds
+	// the standard RTAD topology (axi.RTADTopology).
+	Bus *axi.Interconnect
+	// Shared, when non-nil, serialises this module's compute phase with
+	// other MCM instances driving the same ML-MIAOW — the configuration
+	// where several models are deployed "at the user's disposal" (§II) on
+	// one MLPU. Pass the same *SharedEngine to every participating MCM.
+	Shared *SharedEngine
+	// Clock is the MCM fabric domain; GPUClock the ML-MIAOW domain.
+	Clock    *sim.Clock
+	GPUClock *sim.Clock
+}
+
+// Microarchitectural constants in MCM fabric cycles. Data movement costs
+// come from the interconnect model: the ML-MIAOW base hardware exposes a
+// register-style AXI interface ("bus masters deliver data... ML-MIAOW
+// stores the data in its internal memory"), so the TX engine issues
+// single-beat writes per input word plus two control-register writes —
+// which reproduces the ~0.78 µs "successive write operations to the
+// ML-MIAOW memory" of Fig 7 for a 9–16 word vector.
+const (
+	DefaultFIFODepth = 8
+
+	readInputCycles = 1 // FIFO pop into the TX engine
+	ctrlWrites      = 2 // CU control registers + start command
+	resultWords     = 3 // flag, margin, smoothed score
+	irqCycles       = 2 // interrupt manager latch
+)
+
+// Record traces one input vector through the module.
+type Record struct {
+	Seq       int64 // IGM vector sequence number
+	Arrived   sim.Time
+	Started   sim.Time // READ_INPUT time (leaves the FIFO)
+	Done      sim.Time // READ_RESULT complete; judgment available
+	IRQAt     sim.Time // interrupt time (zero value if no anomaly)
+	Judgment  kernels.Judgment
+	GPUCycles int64
+}
+
+// Stats aggregates module activity.
+type Stats struct {
+	Accepted     int64
+	Dropped      int64 // vectors lost to FIFO overflow
+	Anomalies    int64
+	MaxOccupancy int
+	BusyTime     sim.Time // engine busy time (WRITE_INPUT..READ_RESULT)
+}
+
+// SharedEngine tracks the busy horizon of a compute engine multiplexed
+// between several MCM front-ends.
+type SharedEngine struct {
+	freeAt sim.Time
+}
+
+// NewSharedEngine returns an idle shared-engine token.
+func NewSharedEngine() *SharedEngine { return &SharedEngine{} }
+
+// FreeAt reports when the engine next becomes idle.
+func (s *SharedEngine) FreeAt() sim.Time { return s.freeAt }
+
+// MCM is the module instance. Vectors are pushed in arrival order; the
+// module computes each one's full timeline analytically (the pipeline is
+// feed-forward, so no event scheduler is needed).
+type MCM struct {
+	cfg    Config
+	freeAt sim.Time // engine pipeline free time
+	// starts holds the service-start times of accepted-but-not-started
+	// vectors, to compute FIFO occupancy at each arrival.
+	starts []sim.Time
+	stats  Stats
+	state  State
+}
+
+// New returns an MCM with cfg applied.
+func New(cfg Config) (*MCM, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("mcm: no engine configured")
+	}
+	if cfg.FIFODepth <= 0 {
+		cfg.FIFODepth = DefaultFIFODepth
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.FabricClock
+	}
+	if cfg.GPUClock == nil {
+		cfg.GPUClock = sim.GPUClock
+	}
+	if cfg.Bus == nil {
+		bus, err := axi.RTADTopology()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Bus = bus
+	}
+	return &MCM{cfg: cfg, state: WaitInput}, nil
+}
+
+// State returns the FSM state as of the last Push (WaitInput when idle).
+func (m *MCM) State() State { return m.state }
+
+// Stats returns the aggregate counters.
+func (m *MCM) Stats() Stats { return m.stats }
+
+// occupancyAt counts vectors still waiting in the FIFO at time t.
+func (m *MCM) occupancyAt(t sim.Time) int {
+	n := 0
+	for _, s := range m.starts {
+		if s > t {
+			n++
+		}
+	}
+	return n
+}
+
+// Push offers one IGM vector to the module. It returns the vector's record
+// and whether it was accepted; a false return means the FIFO was full and
+// the vector was lost (counted in Stats.Dropped), the loss mode §IV-C
+// describes for branch-heavy benchmarks.
+func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
+	if len(v.Classes) != m.cfg.Engine.Window() {
+		return Record{}, false, fmt.Errorf("mcm: vector length %d, engine window %d",
+			len(v.Classes), m.cfg.Engine.Window())
+	}
+	// FIFO admission.
+	occ := m.occupancyAt(v.At)
+	if occ >= m.cfg.FIFODepth {
+		m.stats.Dropped++
+		return Record{}, false, nil
+	}
+	if occ+1 > m.stats.MaxOccupancy {
+		m.stats.MaxOccupancy = occ + 1
+	}
+
+	// Protocol conversion.
+	window := make([]int32, len(v.Classes))
+	for i, c := range v.Classes {
+		if m.cfg.Translate != nil {
+			c = m.cfg.Translate(c)
+		}
+		if c < 0 {
+			return Record{}, false, fmt.Errorf("mcm: class %d has no model mapping", v.Classes[i])
+		}
+		window[i] = c
+	}
+
+	// FSM timeline: the vector starts when the engine frees up (including
+	// any other front-end sharing the compute engine).
+	clk := m.cfg.Clock
+	start := clk.NextEdge(v.At)
+	if m.freeAt > start {
+		start = m.freeAt
+	}
+	if m.cfg.Shared != nil && m.cfg.Shared.freeAt > start {
+		start = m.cfg.Shared.freeAt
+	}
+	m.state = ReadInput
+	t := start + clk.Duration(readInputCycles)
+	m.state = WriteInput
+	// TX engine: the input words plus the control/start registers go out
+	// as single-beat writes through the protocol converter.
+	t, err := m.cfg.Bus.SingleBeatSeries(axi.Write, t, axi.MLMIAOWBase, len(window)+ctrlWrites)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("mcm: TX: %w", err)
+	}
+
+	m.state = WaitDone
+	j, gpuCycles, err := m.cfg.Engine.Infer(window)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("mcm: inference: %w", err)
+	}
+	t += m.cfg.GPUClock.Duration(gpuCycles)
+
+	m.state = ReadResult
+	t, err = m.cfg.Bus.SingleBeatSeries(axi.Read, t, axi.MLMIAOWBase+0x1000, resultWords)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("mcm: RX: %w", err)
+	}
+
+	rec := Record{
+		Seq: v.Seq, Arrived: v.At, Started: start, Done: t,
+		Judgment: j, GPUCycles: gpuCycles,
+	}
+	if j.Anomaly {
+		rec.IRQAt = t + clk.Duration(irqCycles)
+		m.stats.Anomalies++
+	}
+	m.stats.Accepted++
+	m.stats.BusyTime += t - start
+	m.freeAt = t
+	if m.cfg.Shared != nil {
+		m.cfg.Shared.freeAt = t
+	}
+	m.starts = append(m.starts, start)
+	// Garbage-collect starts that can no longer affect occupancy.
+	if len(m.starts) > 4*m.cfg.FIFODepth {
+		cut := len(m.starts) - 2*m.cfg.FIFODepth
+		m.starts = append(m.starts[:0], m.starts[cut:]...)
+	}
+	m.state = WaitInput
+	return rec, true, nil
+}

@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"math"
+
+	"rtad/internal/gpu"
+)
+
+// Fixed-point helpers. Model parameters are quantised to the GPU's Q16.16
+// format; the Go fixed-point reference inference in this package uses
+// exactly the same arithmetic as the kernels so results can be compared
+// bit-for-bit.
+
+// ToQ converts x to Q16.16 with saturation.
+func ToQ(x float64) int32 {
+	v := math.Round(x * float64(gpu.QOne))
+	switch {
+	case v > math.MaxInt32:
+		return math.MaxInt32
+	case v < math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(v)
+}
+
+// FromQ converts a Q16.16 value to float64.
+func FromQ(q int32) float64 { return float64(q) / float64(gpu.QOne) }
+
+// QuantizeVec converts a float slice to Q16.16 words.
+func QuantizeVec(xs []float64) []uint32 {
+	out := make([]uint32, len(xs))
+	for i, x := range xs {
+		out[i] = uint32(ToQ(x))
+	}
+	return out
+}
+
+// Activation LUT parameters shared by trainer, reference inference and the
+// GPU kernels: index = clamp((q >> LUTShift) + LUTSize/2, 0, LUTSize-1),
+// covering pre-activations in [-8, 8) with 1/16 steps.
+const (
+	LUTSize  = 256
+	LUTShift = 12 // 2^12 Q-units per LUT step = 1/16 in real terms
+)
+
+// LUTIndex computes the table index for pre-activation q, in the exact
+// integer arithmetic the kernels use (round via half-bin bias, arithmetic
+// shift, add, clamp). int64 intermediate avoids overflow near MaxInt32.
+func LUTIndex(q int32) int32 {
+	idx := int32((int64(q)+1<<(LUTShift-1))>>LUTShift) + LUTSize/2
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= LUTSize {
+		idx = LUTSize - 1
+	}
+	return idx
+}
+
+// lutInput is the real-valued pre-activation at the centre of LUT bin i.
+func lutInput(i int) float64 {
+	return (float64(i) - LUTSize/2) / 16.0
+}
+
+// SigmoidLUT returns the Q16.16 sigmoid table.
+func SigmoidLUT() []uint32 {
+	out := make([]uint32, LUTSize)
+	for i := range out {
+		out[i] = uint32(ToQ(1.0 / (1.0 + math.Exp(-lutInput(i)))))
+	}
+	return out
+}
+
+// TanhLUT returns the Q16.16 tanh table.
+func TanhLUT() []uint32 {
+	out := make([]uint32, LUTSize)
+	for i := range out {
+		out[i] = uint32(ToQ(math.Tanh(lutInput(i))))
+	}
+	return out
+}
+
+// SigmoidQ applies the LUT sigmoid to a Q16.16 pre-activation, matching the
+// kernel's ds/flat gather semantics.
+func SigmoidQ(lut []uint32, q int32) int32 { return int32(lut[LUTIndex(q)]) }
+
+// TanhQ applies the LUT tanh.
+func TanhQ(lut []uint32, q int32) int32 { return int32(lut[LUTIndex(q)]) }
+
+// Sigmoid is the float reference activation.
+func Sigmoid(x float64) float64 { return 1.0 / (1.0 + math.Exp(-x)) }

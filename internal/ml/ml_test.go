@@ -1,0 +1,328 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtad/internal/gpu"
+)
+
+func TestCholeskySolveIdentity(t *testing.T) {
+	a := NewMat(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	b := NewMat(3, 2)
+	for i := 0; i < 3; i++ {
+		b.Set(i, 0, float64(i+1))
+		b.Set(i, 1, float64(-i))
+	}
+	x, err := CholeskySolve(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(x.At(i, j)-b.At(i, j)) > 1e-12 {
+				t.Errorf("x[%d,%d] = %g", i, j, x.At(i, j))
+			}
+		}
+	}
+}
+
+// Property: for random SPD systems, the Cholesky solution has a tiny
+// residual.
+func TestCholeskySolveResidualProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		// Build SPD A = MᵀM + I.
+		mrand := NewMat(n, n)
+		mrand.Randomize(rng, 1)
+		a := TransposeMul(mrand, mrand)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		b := NewMat(n, 1)
+		b.Randomize(rng, 2)
+		x, err := CholeskySolve(a, b, 0)
+		if err != nil {
+			return false
+		}
+		// residual = A·x - b
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * x.At(k, 0)
+			}
+			if math.Abs(s-b.At(i, 0)) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMat(2, 2)
+	a.Set(0, 0, -1)
+	a.Set(1, 1, -1)
+	b := NewMat(2, 1)
+	if _, err := CholeskySolve(a, b, 0); err == nil {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestQConversionRoundTrip(t *testing.T) {
+	prop := func(raw int32) bool {
+		// Limit to the representable range with slack.
+		x := float64(raw%(1<<20)) / 256.0
+		return math.Abs(FromQ(ToQ(x))-x) <= 1.0/float64(gpu.QOne)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if ToQ(1e9) != math.MaxInt32 || ToQ(-1e9) != math.MinInt32 {
+		t.Error("saturation broken")
+	}
+}
+
+func TestLUTMatchesFloatActivations(t *testing.T) {
+	sig := SigmoidLUT()
+	tanh := TanhLUT()
+	for _, x := range []float64{-7.9, -2, -0.5, 0, 0.3, 1, 3, 7.9} {
+		q := ToQ(x)
+		gotS := FromQ(SigmoidQ(sig, q))
+		if math.Abs(gotS-Sigmoid(x)) > 0.04 {
+			t.Errorf("sigmoid LUT at %g: %g vs %g", x, gotS, Sigmoid(x))
+		}
+		gotT := FromQ(TanhQ(tanh, q))
+		if math.Abs(gotT-math.Tanh(x)) > 0.04 {
+			t.Errorf("tanh LUT at %g: %g vs %g", x, gotT, math.Tanh(x))
+		}
+	}
+	// Saturation beyond the table range.
+	if FromQ(SigmoidQ(sig, ToQ(100))) < 0.99 {
+		t.Error("sigmoid LUT does not saturate high")
+	}
+	if FromQ(SigmoidQ(sig, ToQ(-100))) > 0.01 {
+		t.Error("sigmoid LUT does not saturate low")
+	}
+}
+
+func TestLUTIndexClamping(t *testing.T) {
+	if LUTIndex(math.MinInt32) != 0 {
+		t.Error("negative overflow not clamped")
+	}
+	if LUTIndex(math.MaxInt32) != LUTSize-1 {
+		t.Error("positive overflow not clamped")
+	}
+	if LUTIndex(0) != LUTSize/2 {
+		t.Error("zero not centred")
+	}
+}
+
+// markovWindows generates a learnable synthetic class stream: a first-order
+// Markov chain with strongly preferred successors, cut into windows.
+func markovWindows(vocab, window, n int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	succ := make([][]int32, vocab)
+	for c := range succ {
+		succ[c] = []int32{int32((c + 1) % vocab), int32((c + 1) % vocab), int32((c + 3) % vocab), int32(rng.Intn(vocab))}
+	}
+	cur := int32(0)
+	stream := make([]int32, n+window)
+	for i := range stream {
+		stream[i] = cur
+		cur = succ[cur][rng.Intn(4)]
+	}
+	out := make([][]int32, n)
+	for i := range out {
+		out[i] = stream[i : i+window]
+	}
+	return out
+}
+
+func TestELMLearnsMarkovStructure(t *testing.T) {
+	cfg := DefaultELMConfig()
+	train := markovWindows(cfg.Vocab, cfg.Window, 3000, 11)
+	m, err := TrainELM(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal continuation scores must sit well below shuffled-window scores.
+	test := markovWindows(cfg.Vocab, cfg.Window, 400, 99)
+	var normal []float64
+	for _, w := range test {
+		normal = append(normal, m.Score(w))
+	}
+	// Anomalous stream: legitimate classes in random order — the paper's
+	// attack emulation (inserted legitimate branch data breaks sequencing).
+	rng := rand.New(rand.NewSource(3))
+	var anom []float64
+	for range test {
+		w := make([]int32, cfg.Window)
+		for j := range w {
+			w[j] = int32(rng.Intn(cfg.Vocab))
+		}
+		anom = append(anom, m.Score(w))
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(anom) <= mean(normal)*1.2 {
+		t.Errorf("ELM not discriminative: normal mean %.3f, anomalous mean %.3f", mean(normal), mean(anom))
+	}
+	// Detection operates on a smoothed score (the engine keeps an EWMA):
+	// calibrate the alarm level on smoothed normal scores, then require a
+	// sustained anomalous stream to cross it within a bounded number of
+	// windows and with no false alarm on a fresh normal stream.
+	const alpha = 0.25
+	smooth := func(scores []float64) []float64 {
+		out := make([]float64, len(scores))
+		ew := 0.0
+		for i, s := range scores {
+			ew = (1-alpha)*ew + alpha*s
+			out[i] = ew
+		}
+		return out
+	}
+	thr := CalibrateThreshold(smooth(normal), 1.0, 0.02)
+	fresh := markovWindows(cfg.Vocab, cfg.Window, 400, 123)
+	var freshScores []float64
+	for _, w := range fresh {
+		freshScores = append(freshScores, m.Score(w))
+	}
+	for i, s := range smooth(freshScores) {
+		if s > thr {
+			t.Fatalf("false alarm on normal stream at window %d", i)
+		}
+	}
+	detectAt := -1
+	for i, s := range smooth(anom) {
+		if s > thr {
+			detectAt = i
+			break
+		}
+	}
+	if detectAt < 0 || detectAt > 300 {
+		t.Errorf("ELM did not detect sustained anomaly promptly (detectAt=%d)", detectAt)
+	}
+}
+
+func TestELMTrainValidation(t *testing.T) {
+	cfg := DefaultELMConfig()
+	if _, err := TrainELM(cfg, nil); err == nil {
+		t.Error("no data accepted")
+	}
+	bad := markovWindows(cfg.Vocab, cfg.Window, 200, 1)
+	bad[10][0] = int32(cfg.Vocab) // out of vocab
+	if _, err := TrainELM(cfg, bad); err == nil {
+		t.Error("out-of-vocab class accepted")
+	}
+}
+
+func TestLSTMLearnsSequenceStructure(t *testing.T) {
+	cfg := DefaultLSTMConfig()
+	cfg.Epochs = 3
+	train := markovWindows(cfg.Vocab, cfg.Window, 1500, 21)
+	m, err := TrainLSTM(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := markovWindows(cfg.Vocab, cfg.Window, 300, 77)
+	st := m.NewState()
+	var normal []float64
+	for _, w := range test {
+		s, err := m.Score(st, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normal = append(normal, s)
+	}
+	// Anomalous stream: same alphabet, randomly drawn (inserted legitimate
+	// classes with no sequential structure — the paper's attack model).
+	rng := rand.New(rand.NewSource(5))
+	st2 := m.NewState()
+	var anom []float64
+	for i := 0; i < 300; i++ {
+		w := make([]int32, cfg.Window)
+		for j := range w {
+			w[j] = int32(rng.Intn(cfg.Vocab))
+		}
+		s, err := m.Score(st2, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anom = append(anom, s)
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(anom) <= mean(normal)*1.1 {
+		t.Errorf("LSTM not discriminative: normal %.3f vs anomalous %.3f", mean(normal), mean(anom))
+	}
+}
+
+func TestLSTMStepShapes(t *testing.T) {
+	cfg := DefaultLSTMConfig()
+	cfg.Epochs = 1
+	train := markovWindows(cfg.Vocab, cfg.Window, 200, 31)
+	m, err := TrainLSTM(cfg, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.NewState()
+	logits, err := m.Step(st, train[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logits) != cfg.Vocab {
+		t.Errorf("logits length %d", len(logits))
+	}
+	if _, err := m.Step(st, train[0][:3]); err == nil {
+		t.Error("short window accepted")
+	}
+	// State must evolve.
+	h0 := append([]float64(nil), st.H...)
+	m.Step(st, train[1])
+	same := true
+	for i := range h0 {
+		if h0[i] != st.H[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("recurrent state did not change")
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	scores := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := CalibrateThreshold(scores, 1.0, 0); got != 10 {
+		t.Errorf("max quantile = %g", got)
+	}
+	if got := CalibrateThreshold(scores, 0.5, 0); got != 5 {
+		t.Errorf("median = %g", got)
+	}
+	if got := CalibrateThreshold(nil, 1, 2.5); got != 2.5 {
+		t.Errorf("empty scores = %g", got)
+	}
+	if got := CalibrateThreshold(scores, 1.0, 1); got != 11 {
+		t.Errorf("margin not applied: %g", got)
+	}
+}

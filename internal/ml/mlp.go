@@ -1,0 +1,138 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TrainMLP fits the *traditional multi-layer perceptron* the paper
+// positions the ELM against (§IV-C: "The ELM model is more lightweight
+// than a traditional MLP while providing similar accuracy"). The topology
+// and deployment shape are identical to the ELM — positional one-hot
+// window in, sigmoid hidden layer, linear class readout — so the returned
+// model runs on the very same GPU kernels; the difference is training:
+// every weight is learned by softmax-cross-entropy backpropagation over
+// multiple epochs, instead of the ELM's one-shot ridge solve over a frozen
+// random expansion. The cost asymmetry (epochs of full backprop vs one
+// Cholesky factorisation) is the paper's "lightweight" claim, measured by
+// BenchmarkAblationELMvsMLP.
+func TrainMLP(cfg ELMConfig, windows [][]int32, epochs int, lr float64) (*ELM, error) {
+	if cfg.Window < 2 || cfg.Vocab < 2 || cfg.Hidden < 1 {
+		return nil, fmt.Errorf("ml: bad MLP config %+v", cfg)
+	}
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("ml: no MLP training data")
+	}
+	if epochs <= 0 {
+		epochs = 10
+	}
+	if lr <= 0 {
+		lr = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	m := &ELM{
+		Cfg:   cfg,
+		W1:    NewMat(cfg.Hidden, (cfg.Window-1)*cfg.Vocab),
+		B1:    make([]float64, cfg.Hidden),
+		BetaT: NewMat(cfg.Vocab, cfg.Hidden),
+	}
+	m.W1.Randomize(rng, 0.5)
+	m.BetaT.Randomize(rng, 1.0/math.Sqrt(float64(cfg.Hidden)))
+
+	for _, w := range windows {
+		if err := validateWindow(cfg, w); err != nil {
+			return nil, err
+		}
+	}
+	order := rng.Perm(len(windows))
+	h := make([]float64, cfg.Hidden)
+	probs := make([]float64, cfg.Vocab)
+	dh := make([]float64, cfg.Hidden)
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			w := windows[idx]
+			target := int(w[cfg.Window-1])
+
+			// Forward: gather-sum the active W1 columns, sigmoid, readout.
+			copy(h, m.B1)
+			for j := 0; j < cfg.Window-1; j++ {
+				col := j*cfg.Vocab + int(w[j])
+				for r := 0; r < cfg.Hidden; r++ {
+					h[r] += m.W1.At(r, col)
+				}
+			}
+			for r := range h {
+				h[r] = Sigmoid(h[r])
+			}
+			maxl := math.Inf(-1)
+			for v := 0; v < cfg.Vocab; v++ {
+				probs[v] = 0
+				row := m.BetaT.Row(v)
+				for r := 0; r < cfg.Hidden; r++ {
+					probs[v] += row[r] * h[r]
+				}
+				if probs[v] > maxl {
+					maxl = probs[v]
+				}
+			}
+			var z float64
+			for v := range probs {
+				probs[v] = math.Exp(probs[v] - maxl)
+				z += probs[v]
+			}
+			for v := range probs {
+				probs[v] /= z
+			}
+
+			// Backward: softmax CE into the readout, then the hidden layer.
+			for r := range dh {
+				dh[r] = 0
+			}
+			for v := 0; v < cfg.Vocab; v++ {
+				d := probs[v]
+				if v == target {
+					d -= 1
+				}
+				row := m.BetaT.Row(v)
+				for r := 0; r < cfg.Hidden; r++ {
+					dh[r] += d * row[r]
+					row[r] -= lr * d * h[r]
+				}
+			}
+			for r := 0; r < cfg.Hidden; r++ {
+				g := dh[r] * h[r] * (1 - h[r])
+				m.B1[r] -= lr * g
+				for j := 0; j < cfg.Window-1; j++ {
+					col := j*cfg.Vocab + int(w[j])
+					m.W1.Set(r, col, m.W1.At(r, col)-lr*g)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Accuracy reports top-1 next-class prediction accuracy over windows, the
+// quantity the ELM-vs-MLP comparison holds fixed.
+func (m *ELM) Accuracy(windows [][]int32) float64 {
+	if len(windows) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, w := range windows {
+		logits := m.Logits(w)
+		best := 0
+		for v := range logits {
+			if logits[v] > logits[best] {
+				best = v
+			}
+		}
+		if int32(best) == w[m.Cfg.Window-1] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(windows))
+}

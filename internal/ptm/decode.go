@@ -1,0 +1,205 @@
+package ptm
+
+import "rtad/internal/cpu"
+
+// StreamDecoder is the reference decoder for the PTM packet protocol. It
+// consumes the stream one byte at a time — the same granularity as the
+// hardware trace-analyzer units in IGM, which wrap this state machine with
+// cycle timing — and produces Packet values as packets complete.
+type StreamDecoder struct {
+	state   dstate
+	zeros   int
+	need    int
+	buf     [8]byte
+	nbuf    int
+	exc     bool
+	chunks  [numChunks]uint32
+	nchunks int
+
+	prev     [numChunks]uint32
+	havePrev bool
+
+	// Errors counts protocol violations (unexpected bytes). The decoder
+	// resynchronises at the next a-sync rather than failing hard, like
+	// the hardware.
+	Errors int
+	// Bytes counts every byte fed.
+	Bytes int64
+}
+
+type dstate uint8
+
+const (
+	stIdle dstate = iota
+	stISync
+	stTimestamp
+	stBranch
+	stBranchExc
+	stSkipToSync // error recovery: hunt for a-sync
+)
+
+// NewStreamDecoder returns a decoder at stream start.
+func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
+
+// Feed consumes one byte and returns zero or more completed packets.
+func (d *StreamDecoder) Feed(b byte) []Packet {
+	d.Bytes++
+	// A-sync detection runs in every state: five zeros then 0x80 realigns
+	// the decoder unconditionally (that is its purpose).
+	if b == hdrAsyncZero {
+		d.zeros++
+		if d.state == stIdle && d.zeros <= asyncZeroCount {
+			return nil
+		}
+		if d.state == stSkipToSync || d.zeros >= asyncZeroCount {
+			return nil
+		}
+	}
+	if b == hdrAsyncTerm && d.zeros >= asyncZeroCount {
+		d.zeros = 0
+		d.reset()
+		return []Packet{{Type: PktASync}}
+	}
+	zeros := d.zeros
+	d.zeros = 0
+
+	switch d.state {
+	case stSkipToSync:
+		return nil
+
+	case stIdle:
+		return d.headerByte(b, zeros)
+
+	case stISync:
+		d.buf[d.nbuf] = b
+		d.nbuf++
+		if d.nbuf < 5 {
+			return nil
+		}
+		addr := uint32(d.buf[0]) | uint32(d.buf[1])<<8 | uint32(d.buf[2])<<16 | uint32(d.buf[3])<<24
+		info := d.buf[4]
+		d.state = stIdle
+		d.havePrev = false
+		return []Packet{{Type: PktISync, Addr: addr, Info: info}}
+
+	case stTimestamp:
+		d.buf[d.nbuf] = b
+		d.nbuf++
+		if d.nbuf < 4 {
+			return nil
+		}
+		ts := uint32(d.buf[0]) | uint32(d.buf[1])<<8 | uint32(d.buf[2])<<16 | uint32(d.buf[3])<<24
+		d.state = stIdle
+		return []Packet{{Type: PktTimestamp, TS: ts}}
+
+	case stBranch:
+		if d.nchunks < numChunks {
+			d.chunks[d.nchunks] = uint32(b) & 0x7f
+			d.nchunks++
+		} else {
+			d.Errors++
+		}
+		if b&continuationBit != 0 {
+			return nil
+		}
+		return d.finishBranch()
+
+	case stBranchExc:
+		d.state = stIdle
+		if b&0xF0 != excByteBase&0xF0 {
+			d.Errors++
+		}
+		kind := cpu.Kind(b & 0x0f)
+		pkt := d.assembleBranch()
+		pkt.Exc = true
+		pkt.Kind = kind
+		return []Packet{pkt}
+	}
+	return nil
+}
+
+// headerByte classifies the first byte of a new packet.
+func (d *StreamDecoder) headerByte(b byte, zeros int) []Packet {
+	if zeros > 0 && b != hdrAsyncZero {
+		// Zeros that did not complete an a-sync are a protocol error.
+		d.Errors += zeros
+	}
+	switch {
+	case b == hdrAsyncZero:
+		return nil // counted by caller
+	case b == hdrISync:
+		d.state, d.nbuf = stISync, 0
+		return nil
+	case b == hdrTimestamp:
+		d.state, d.nbuf = stTimestamp, 0
+		return nil
+	case b == hdrOverflow:
+		d.havePrev = false
+		return []Packet{{Type: PktOverflow}}
+	case b&branchMarkerBit != 0:
+		d.exc = b&branchExcBit != 0
+		d.chunks = [numChunks]uint32{uint32(b>>2) & 0x1f}
+		d.nchunks = 1
+		if b&continuationBit != 0 {
+			d.state = stBranch
+			return nil
+		}
+		return d.finishBranch()
+	case b&0x03 == atomMarker:
+		n := int(b>>2)&0x03 + 1
+		atoms := make([]bool, n)
+		for i := 0; i < n; i++ {
+			atoms[i] = b&(1<<(4+i)) != 0
+		}
+		return []Packet{{Type: PktAtoms, Atoms: atoms}}
+	default:
+		d.Errors++
+		d.state = stSkipToSync
+		return nil
+	}
+}
+
+// finishBranch completes a branch packet when the last address byte had a
+// clear continuation bit.
+func (d *StreamDecoder) finishBranch() []Packet {
+	if d.exc {
+		d.state = stBranchExc
+		return nil
+	}
+	d.state = stIdle
+	return []Packet{d.assembleBranch()}
+}
+
+// assembleBranch reconstructs the target address: received low chunks plus
+// inherited high chunks from the previous branch (prefix compression).
+func (d *StreamDecoder) assembleBranch() Packet {
+	if !d.havePrev && d.nchunks < numChunks {
+		// Compressed packet with no baseline: the stream desynchronised.
+		d.Errors++
+	}
+	ch := d.prev
+	for i := 0; i < d.nchunks; i++ {
+		ch[i] = d.chunks[i]
+	}
+	d.prev = ch
+	d.havePrev = true
+	return Packet{Type: PktBranch, Addr: chunksToAddr(ch), Kind: cpu.KindDirect}
+}
+
+// reset clears per-packet state after an a-sync.
+func (d *StreamDecoder) reset() {
+	d.state = stIdle
+	d.nbuf = 0
+	d.nchunks = 0
+	d.havePrev = false
+}
+
+// DecodeAll is a convenience that feeds a whole buffer and collects packets.
+func DecodeAll(stream []byte) ([]Packet, int) {
+	d := NewStreamDecoder()
+	var out []Packet
+	for _, b := range stream {
+		out = append(out, d.Feed(b)...)
+	}
+	return out, d.Errors
+}

@@ -1,0 +1,187 @@
+package ptm
+
+import (
+	"rtad/internal/cpu"
+	"rtad/internal/sim"
+)
+
+// TimedByte is one trace byte with the simulated instant it becomes visible
+// on the TPIU-facing port.
+type TimedByte struct {
+	At sim.Time
+	B  byte
+}
+
+// PortConfig sizes the PTM output stage: the CPU-internal trace FIFO and
+// the formatter policy that holds bytes back until enough have accumulated.
+// That hold-back is the dominant component of RTAD's step-(1) latency in
+// Fig 7 — "PTM does not send the packets until enough packets are buffered
+// in the FIFO inside the ARM CPU".
+type PortConfig struct {
+	// DrainThreshold is the byte occupancy at which the formatter releases
+	// the buffered stream. Smaller values cut trace-visibility latency at
+	// the cost of more port transactions.
+	DrainThreshold int
+	// BytesPerCycle is the port width per fabric cycle: the TPIU-facing
+	// interface moves this many bytes each 125 MHz cycle (4 = 32-bit port).
+	BytesPerCycle int
+	// QueueBytes bounds how far the port's departure schedule may run
+	// ahead of the producer before the CPU stalls (sustained-bandwidth
+	// backpressure). Zero uses the default.
+	QueueBytes int
+	// Clock is the fabric clock driving the port (defaults to sim.FabricClock).
+	Clock *sim.Clock
+}
+
+// Defaults matching the prototype configuration.
+const (
+	DefaultDrainThreshold = 256
+	DefaultBytesPerCycle  = 4
+	DefaultQueueBytes     = 512
+)
+
+func (c PortConfig) withDefaults() PortConfig {
+	if c.DrainThreshold <= 0 {
+		c.DrainThreshold = DefaultDrainThreshold
+	}
+	if c.BytesPerCycle <= 0 {
+		c.BytesPerCycle = DefaultBytesPerCycle
+	}
+	if c.QueueBytes <= 0 {
+		c.QueueBytes = DefaultQueueBytes
+	}
+	if c.Clock == nil {
+		c.Clock = sim.FabricClock
+	}
+	return c
+}
+
+// Port models the PTM output stage. Bytes pushed at simulated times are
+// buffered until the drain threshold is reached, then released onto the
+// port at the configured width, one beat per fabric cycle. Released bytes
+// appear on the Out slice with their departure times.
+type Port struct {
+	cfg    PortConfig
+	buf    []byte
+	freeAt sim.Time // next fabric instant the port can emit a beat
+	// Out accumulates released bytes; callers consume it with Take.
+	out []TimedByte
+
+	releases  int64
+	maxOccupy int
+}
+
+// NewPort returns a port with cfg applied (zero fields take defaults).
+func NewPort(cfg PortConfig) *Port {
+	return &Port{cfg: cfg.withDefaults()}
+}
+
+// Occupancy returns bytes currently held back by the formatter.
+func (p *Port) Occupancy() int { return len(p.buf) }
+
+// MaxOccupancy returns the high-water mark of the hold-back buffer.
+func (p *Port) MaxOccupancy() int { return p.maxOccupy }
+
+// Releases returns how many drain bursts the formatter has performed.
+func (p *Port) Releases() int64 { return p.releases }
+
+// Push buffers data produced at time at and returns how long (in simulated
+// time) the producer must stall because the port's departure schedule has
+// run more than QueueBytes ahead — the only backpressure path to the CPU.
+func (p *Port) Push(at sim.Time, data []byte) sim.Time {
+	p.buf = append(p.buf, data...)
+	if len(p.buf) > p.maxOccupy {
+		p.maxOccupy = len(p.buf)
+	}
+	if len(p.buf) >= p.cfg.DrainThreshold {
+		p.release(at)
+	}
+	// Sustained-bandwidth backpressure: if the port is scheduled beyond
+	// the queue horizon, the producer waits for the excess.
+	horizon := p.cfg.Clock.Duration(int64(p.cfg.QueueBytes / p.cfg.BytesPerCycle))
+	if lag := p.freeAt - at - horizon; lag > 0 {
+		return lag
+	}
+	return 0
+}
+
+// Flush releases any held-back bytes regardless of the threshold (trace
+// disable, or the driver forcing visibility).
+func (p *Port) Flush(at sim.Time) {
+	if len(p.buf) > 0 {
+		p.release(at)
+	}
+}
+
+// release schedules every buffered byte onto the port.
+func (p *Port) release(at sim.Time) {
+	p.releases++
+	beat := p.cfg.Clock.NextEdge(at)
+	if beat < p.freeAt {
+		beat = p.freeAt
+	}
+	for i := 0; i < len(p.buf); i += p.cfg.BytesPerCycle {
+		end := i + p.cfg.BytesPerCycle
+		if end > len(p.buf) {
+			end = len(p.buf)
+		}
+		for _, b := range p.buf[i:end] {
+			p.out = append(p.out, TimedByte{At: beat, B: b})
+		}
+		beat += p.cfg.Clock.Period()
+	}
+	p.freeAt = beat
+	p.buf = p.buf[:0]
+}
+
+// Take returns and clears the released-byte stream.
+func (p *Port) Take() []TimedByte {
+	out := p.out
+	p.out = nil
+	return out
+}
+
+// syncStallCycles is the CPU-side cost of generating a synchronisation
+// packet pair: the PTM snapshots architectural state for the i-sync, which
+// holds retirement for a couple of cycles. This — not the data path — is
+// why merely enabling the PTM interface shows a (negligible) overhead in
+// Fig 6.
+const syncStallCycles = 2
+
+// OverheadSink wires Encoder and Port into a cpu.Sink for the Fig 6
+// overhead study: every retired branch is encoded and pushed, and the
+// returned stall is the CPU-cycle cost of trace collection.
+type OverheadSink struct {
+	Enc  *Encoder
+	Port *Port
+
+	cpuClock  *sim.Clock
+	lastSyncs int64
+}
+
+// NewOverheadSink builds the standard RTAD collection path: broadcast
+// encoder plus default port.
+func NewOverheadSink(cfg Config, pcfg PortConfig) *OverheadSink {
+	return &OverheadSink{
+		Enc:      NewEncoder(cfg),
+		Port:     NewPort(pcfg),
+		cpuClock: sim.CPUClock,
+	}
+}
+
+// BranchRetired implements cpu.Sink.
+func (s *OverheadSink) BranchRetired(ev cpu.BranchEvent) int64 {
+	at := s.cpuClock.Duration(ev.Cycle)
+	bytes := s.Enc.Encode(ev)
+	var stall int64
+	if syncs := s.Enc.Syncs(); syncs != s.lastSyncs {
+		s.lastSyncs = syncs
+		stall += syncStallCycles
+	}
+	if len(bytes) > 0 {
+		if lag := s.Port.Push(at, bytes); lag > 0 {
+			stall += s.cpuClock.CyclesCeil(lag)
+		}
+	}
+	return stall
+}

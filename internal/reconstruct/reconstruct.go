@@ -1,0 +1,237 @@
+// Package reconstruct recovers the full branch stream from a *compressed*
+// PTM trace. The RTAD prototype runs the PTM in branch-broadcast mode so
+// the IGM sees every target address directly — simple hardware, but each
+// taken branch costs one-to-five trace bytes. CoreSight's native economy
+// mode instead emits one *atom bit* per direct branch (taken/not-taken)
+// and full addresses only where the target cannot be known statically
+// (indirect jumps, returns, exceptions); a decoder with access to the
+// program image walks the static code between waypoints to recover every
+// transfer. This package implements that walk against the host ISA — the
+// natural bandwidth extension for IGM that §III-A's related work (Intel PT
+// decoders like [7]) performs in software — and the benchmark suite
+// quantifies the compression it buys.
+package reconstruct
+
+import (
+	"fmt"
+
+	"rtad/internal/cpu"
+	"rtad/internal/isa"
+	"rtad/internal/ptm"
+)
+
+// Branch is one recovered control transfer, equivalent to what the CPU's
+// retirement hook reports (so recovery can be checked against ground truth).
+type Branch struct {
+	PC     uint32
+	Target uint32
+	Kind   cpu.Kind
+	Taken  bool
+}
+
+// Stats counts reconstruction activity.
+type Stats struct {
+	Branches   int64 // recovered transfers (incl. not-taken conditionals)
+	Atoms      int64 // atom bits consumed
+	Addresses  int64 // address packets consumed
+	Resyncs    int64 // i-sync realignments
+	LostRegion int64 // packets skipped while desynchronised (after overflow)
+}
+
+// Reconstructor is the stateful decoder. Feed it decoded PTM packets in
+// stream order; it walks the program image between waypoints and emits the
+// recovered transfers.
+type Reconstructor struct {
+	prog *isa.Program
+
+	pc     uint32
+	synced bool
+
+	atoms []bool
+	addrs []addrPkt
+
+	out   []Branch
+	stats Stats
+}
+
+type addrPkt struct {
+	addr uint32
+	exc  bool
+	kind cpu.Kind
+}
+
+// New returns a reconstructor for the given program image.
+func New(prog *isa.Program) *Reconstructor {
+	return &Reconstructor{prog: prog}
+}
+
+// Stats returns the activity counters.
+func (r *Reconstructor) Stats() Stats { return r.stats }
+
+// Synced reports whether the decoder currently has a valid program counter.
+func (r *Reconstructor) Synced() bool { return r.synced }
+
+// Feed consumes one packet and returns any transfers recovered by walking
+// the program as far as the available waypoint information allows.
+func (r *Reconstructor) Feed(pkt ptm.Packet) ([]Branch, error) {
+	switch pkt.Type {
+	case ptm.PktISync:
+		r.pc = pkt.Addr
+		r.synced = true
+		r.atoms = r.atoms[:0]
+		r.addrs = r.addrs[:0]
+		r.stats.Resyncs++
+	case ptm.PktOverflow:
+		// Trace bytes were lost: the walk is no longer trustworthy until
+		// the next i-sync re-anchors it.
+		r.synced = false
+	case ptm.PktAtoms:
+		if !r.synced {
+			r.stats.LostRegion++
+			break
+		}
+		r.atoms = append(r.atoms, pkt.Atoms...)
+	case ptm.PktBranch:
+		if !r.synced {
+			r.stats.LostRegion++
+			break
+		}
+		kind := cpu.KindIndirect
+		if pkt.Exc {
+			kind = pkt.Kind
+		}
+		r.addrs = append(r.addrs, addrPkt{addr: pkt.Addr, exc: pkt.Exc, kind: kind})
+	case ptm.PktASync, ptm.PktTimestamp:
+		// alignment/timing only
+	}
+	if err := r.walk(); err != nil {
+		return nil, err
+	}
+	out := r.out
+	r.out = nil
+	return out, nil
+}
+
+// walk advances through the static code, consuming waypoint info until a
+// needed atom or address is not yet available.
+func (r *Reconstructor) walk() error {
+	for r.synced {
+		if !r.prog.Contains(r.pc) {
+			return fmt.Errorf("reconstruct: walked outside the program image at %#x", r.pc)
+		}
+		w, err := r.prog.WordAt(r.pc)
+		if err != nil {
+			return err
+		}
+		ins, err := isa.Decode(w)
+		if err != nil {
+			return fmt.Errorf("reconstruct: at %#x: %w", r.pc, err)
+		}
+		next := r.pc + isa.WordBytes
+
+		switch {
+		case ins.Op == isa.HALT:
+			// End of program: nothing further to recover.
+			r.synced = false
+			return nil
+
+		case !ins.Op.IsBranch():
+			r.pc = next
+			continue
+
+		case ins.Op == isa.SVC:
+			// Exception waypoint: the PTM emits a branch-address packet
+			// with an exception byte for the kernel entry.
+			pktAddr, ok := r.popAddr()
+			if !ok {
+				return nil
+			}
+			want := cpu.SyscallTarget(ins.Imm)
+			if pktAddr.addr != want {
+				return fmt.Errorf("reconstruct: syscall at %#x: trace says %#x, code says %#x",
+					r.pc, pktAddr.addr, want)
+			}
+			r.emit(Branch{PC: r.pc, Target: pktAddr.addr, Kind: cpu.KindSyscall, Taken: true})
+			r.pc = next // SVC returns to the following instruction
+
+		case ins.Op.IsIndirect():
+			pktAddr, ok := r.popAddr()
+			if !ok {
+				return nil
+			}
+			kind := cpu.KindIndirect
+			switch ins.Op {
+			case isa.RET:
+				kind = cpu.KindReturn
+			case isa.BLR:
+				kind = cpu.KindIndCall
+			}
+			r.emit(Branch{PC: r.pc, Target: pktAddr.addr, Kind: kind, Taken: true})
+			r.pc = pktAddr.addr
+
+		default:
+			// Direct branch: one atom decides taken/not-taken.
+			taken, ok := r.popAtom()
+			if !ok {
+				return nil
+			}
+			target := next + uint32(ins.Imm)*isa.WordBytes
+			kind := cpu.KindDirect
+			if ins.Op == isa.BL {
+				kind = cpu.KindCall
+			}
+			if taken {
+				r.emit(Branch{PC: r.pc, Target: target, Kind: kind, Taken: true})
+				r.pc = target
+			} else {
+				r.emit(Branch{PC: r.pc, Target: next, Kind: kind, Taken: false})
+				r.pc = next
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Reconstructor) popAtom() (bool, bool) {
+	if len(r.atoms) == 0 {
+		return false, false
+	}
+	a := r.atoms[0]
+	r.atoms = r.atoms[:copy(r.atoms, r.atoms[1:])]
+	r.stats.Atoms++
+	return a, true
+}
+
+func (r *Reconstructor) popAddr() (addrPkt, bool) {
+	if len(r.addrs) == 0 {
+		return addrPkt{}, false
+	}
+	a := r.addrs[0]
+	r.addrs = r.addrs[:copy(r.addrs, r.addrs[1:])]
+	r.stats.Addresses++
+	return a, true
+}
+
+func (r *Reconstructor) emit(b Branch) {
+	r.out = append(r.out, b)
+	r.stats.Branches++
+}
+
+// DecodeTrace is a convenience: decode a whole raw PTM byte stream against
+// a program image and return every recovered transfer.
+func DecodeTrace(prog *isa.Program, stream []byte) ([]Branch, Stats, error) {
+	pkts, errs := ptm.DecodeAll(stream)
+	if errs != 0 {
+		return nil, Stats{}, fmt.Errorf("reconstruct: %d packet-level errors", errs)
+	}
+	r := New(prog)
+	var out []Branch
+	for _, pkt := range pkts {
+		bs, err := r.Feed(pkt)
+		if err != nil {
+			return nil, r.Stats(), err
+		}
+		out = append(out, bs...)
+	}
+	return out, r.Stats(), nil
+}

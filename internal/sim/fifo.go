@@ -1,0 +1,98 @@
+package sim
+
+// FIFO is a bounded hardware-style queue. Unlike a growable Go slice queue,
+// pushing into a full FIFO drops the new element and counts an overflow —
+// exactly the loss mode the paper observes on the MCM input FIFO under heavy
+// branch pressure (471.omnetpp, §IV-C). The element type is generic so the
+// same primitive backs byte-stream FIFOs (PTM, TPIU) and vector FIFOs (MCM).
+type FIFO[T any] struct {
+	buf       []T
+	head      int // index of the oldest element
+	size      int
+	pushes    int64
+	pops      int64
+	overflows int64
+	maxDepth  int
+}
+
+// NewFIFO returns a FIFO with the given capacity. Capacity must be positive.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		panic("sim: FIFO capacity must be positive")
+	}
+	return &FIFO[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the FIFO capacity in elements.
+func (f *FIFO[T]) Cap() int { return len(f.buf) }
+
+// Len returns the current occupancy.
+func (f *FIFO[T]) Len() int { return f.size }
+
+// Empty reports whether the FIFO holds no elements.
+func (f *FIFO[T]) Empty() bool { return f.size == 0 }
+
+// Full reports whether a push would overflow.
+func (f *FIFO[T]) Full() bool { return f.size == len(f.buf) }
+
+// Push enqueues v. If the FIFO is full the element is dropped, the overflow
+// counter increments, and Push reports false. This models a hardware FIFO
+// with no backpressure on its write port.
+func (f *FIFO[T]) Push(v T) bool {
+	if f.size == len(f.buf) {
+		f.overflows++
+		return false
+	}
+	f.buf[(f.head+f.size)%len(f.buf)] = v
+	f.size++
+	f.pushes++
+	if f.size > f.maxDepth {
+		f.maxDepth = f.size
+	}
+	return true
+}
+
+// Pop dequeues the oldest element. ok is false when the FIFO is empty.
+func (f *FIFO[T]) Pop() (v T, ok bool) {
+	if f.size == 0 {
+		return v, false
+	}
+	v = f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	f.pops++
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (f *FIFO[T]) Peek() (v T, ok bool) {
+	if f.size == 0 {
+		return v, false
+	}
+	return f.buf[f.head], true
+}
+
+// Overflows reports how many pushes were dropped because the FIFO was full.
+func (f *FIFO[T]) Overflows() int64 { return f.overflows }
+
+// Pushes reports the number of accepted pushes.
+func (f *FIFO[T]) Pushes() int64 { return f.pushes }
+
+// Pops reports the number of pops.
+func (f *FIFO[T]) Pops() int64 { return f.pops }
+
+// MaxDepth reports the high-water mark reached since construction, useful
+// for sizing studies and the FIFO-pressure analysis behind Fig 8.
+func (f *FIFO[T]) MaxDepth() int { return f.maxDepth }
+
+// Reset empties the FIFO and clears all statistics.
+func (f *FIFO[T]) Reset() {
+	var zero T
+	for i := range f.buf {
+		f.buf[i] = zero
+	}
+	f.head, f.size = 0, 0
+	f.pushes, f.pops, f.overflows, f.maxDepth = 0, 0, 0, 0
+}

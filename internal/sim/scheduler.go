@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// An event is one scheduled callback. Events at equal times fire in
+// scheduling order (seq), which keeps multi-domain runs deterministic.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event executor. Hardware models
+// post callbacks at absolute or relative times; Run drains them in time
+// order. It is deliberately not goroutine-safe: RTL-style models are easier
+// to reason about (and to reproduce cycle-exact results with) when all state
+// mutation happens on one logical timeline.
+type Scheduler struct {
+	now    Time
+	queue  eventHeap
+	seq    int64
+	fired  int64
+	halted bool
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired reports how many events have executed, a cheap progress metric for
+// tests and the CLI tools.
+func (s *Scheduler) Fired() int64 { return s.fired }
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// always indicates a model bug (a component reacting before its stimulus).
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// AfterCycles schedules fn n cycles of clock c after the current time.
+func (s *Scheduler) AfterCycles(c *Clock, n int64, fn func()) {
+	s.At(s.now+c.Duration(n), fn)
+}
+
+// Halt stops Run/RunUntil after the in-flight event completes. Components
+// use it to end a simulation early (e.g. once an interrupt has been
+// delivered and measured).
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Halted reports whether Halt has been called.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+// Step executes the earliest pending event and returns true, or returns
+// false if the queue is empty or the scheduler is halted.
+func (s *Scheduler) Step() bool {
+	if s.halted || len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Run drains the event queue until it is empty or Halt is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if it is in the future). Events scheduled beyond
+// the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+}

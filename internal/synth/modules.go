@@ -1,0 +1,112 @@
+package synth
+
+// Netlist builders for the RTAD modules, sized from the architecture
+// parameters the behavioural models in this repository actually use
+// (internal/igm, internal/mcm). Table I is the calibration target.
+
+// TraceAnalyzer: four TA units, each a byte-serial PFT packet decoder —
+// the decode tables dominate (conditional trees over packet headers,
+// address-chunk reassembly), which is why this module is LUT-heavy and
+// FF-light in Table I (11,962 / 350).
+func TraceAnalyzer() *Netlist {
+	n := &Netlist{Name: "Trace Analyzer"}
+	const taUnits = 4
+	// Per unit: packet classification + chunk steering decode trees.
+	n.Add(Logic, 2900, taUnits)
+	// Per unit: FSM state, chunk accumulator (31 b), byte counters.
+	n.Add(Reg, 80, taUnits)
+	// Stream merge/alignment across the four units.
+	n.Add(Logic, 350, 1)
+	n.Add(Reg, 32, 1)
+	return n
+}
+
+// P2S: the parallel-to-serial converter between the four TA units and the
+// IVG — skid buffers and an output queue built from registers (FF-heavy:
+// 686 / 1,074 in Table I).
+func P2S() *Netlist {
+	n := &Netlist{Name: "P2S"}
+	// Four double-buffered 32-bit address slots, two pipeline stages deep.
+	n.Add(Reg, 32, 16)
+	// Sixteen-deep 32-bit output queue in registers.
+	n.Add(Reg, 32, 16)
+	// Valid/credit tracking.
+	n.Add(Reg, 50, 1)
+	// 4:1 round-robin arbiter (three 2:1 mux stages of 32 bits).
+	n.Add(Mux, 32, 3)
+	// Grant/credit control logic.
+	n.Add(Logic, 500, 1)
+	// Queue pointers.
+	n.Add(Adder, 8, 4)
+	return n
+}
+
+// InputVectorGenerator: the address-mapper lookup table (distributed RAM,
+// hash-probed) plus the vector encoder's window registers and conversion
+// table (890 / 1,067 / 0 BRAM in Table I — the table is small enough to
+// stay out of block RAM).
+func InputVectorGenerator() *Netlist {
+	n := &Netlist{Name: "Input Vector Generator"}
+	// Mapper table: 64 entries x (32-bit tag + 10-bit class) in LUTRAM.
+	n.Add(LUTRAM, 42, 64)
+	// Conversion table: 32 x 16-bit encodings.
+	n.Add(LUTRAM, 16, 32)
+	// Window shift register: 16 positions x 10-bit class IDs.
+	n.Add(Reg, 10, 16)
+	// Pipeline registers (mapper stage, encoder stage) + stride counter.
+	n.Add(Reg, 42, 2)
+	n.Add(Reg, 32, 24)
+	n.Add(Adder, 16, 2)
+	// Hash/probe compare and encode logic.
+	n.Add(Cmp, 32, 4)
+	n.Add(Logic, 600, 1)
+	n.Add(Mux, 40, 4)
+	return n
+}
+
+// InternalFIFO: the MCM vector FIFO — block-RAM payload with a thin
+// register/control shell (13 / 33 / 10 BRAMs / 262 GE in Table I; the
+// ASIC flow places the payload as SRAM macros outside the gate count).
+func InternalFIFO() *Netlist {
+	n := &Netlist{Name: "Internal FIFO"}
+	n.Add(RAM, BRAMBits, 10)
+	n.Add(Reg, 33, 1)
+	n.Add(Logic, 8, 1)
+	n.Add(Adder, 5, 1)
+	return n
+}
+
+// MLMIAOWDriver: the block issuing control-register writes and the start
+// command to the compute engine (489 / 265 in Table I).
+func MLMIAOWDriver() *Netlist {
+	n := &Netlist{Name: "ML-MIAOW Driver"}
+	n.Add(Reg, 32, 8)     // CU control shadow registers
+	n.Add(Reg, 9, 1)      // sequencing state
+	n.Add(LUTRAM, 64, 16) // command/descriptor queue
+	n.Add(Logic, 450, 1)
+	n.Add(Mux, 64, 2)
+	n.Add(Adder, 16, 2)
+	return n
+}
+
+// ControlFSM: the five-state MCM controller with its configuration
+// registers, transaction counters and address generators (1,609 / 1,698).
+func ControlFSM() *Netlist {
+	n := &Netlist{Name: "Control FSM"}
+	n.Add(Reg, 32, 48) // config + status register file
+	n.Add(Reg, 114, 1) // state, timers, handshake trackers
+	n.Add(Logic, 1150, 1)
+	n.Add(Cmp, 32, 4)
+	n.Add(Adder, 32, 3)
+	n.Add(Mux, 64, 4)
+	return n
+}
+
+// InterruptManager: IRQ latch, mask and cause registers (42 / 91).
+func InterruptManager() *Netlist {
+	n := &Netlist{Name: "Interrupt Manager"}
+	n.Add(Reg, 91, 1)
+	n.Add(Logic, 30, 1)
+	n.Add(Mux, 16, 1)
+	return n
+}

@@ -1,0 +1,87 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"rtad/internal/gpu"
+	"rtad/internal/trim"
+)
+
+// Row is one Table I line.
+type Row struct {
+	Module    string
+	Submodule string
+	Area      Area
+}
+
+// TableI is the synthesized-results table.
+type TableI struct {
+	Rows  []Row
+	Total Area
+}
+
+// ZC706 device capacity, for the utilisation figures quoted in §IV-A.
+const (
+	ZC706LUTs  = 218600
+	ZC706FFs   = 437200
+	ZC706BRAMs = 545
+)
+
+// MLMIAOWCUs is the number of trimmed compute units the prototype deploys.
+const MLMIAOWCUs = 5
+
+// BuildTableI assembles the table from the module netlists plus the
+// compute-engine footprint derived from the trimmed block set. keep is the
+// trimming result (trim.Run's coverage); a nil keep uses the full MIAOW
+// block set (which would not fit five times, as §IV-A notes).
+func BuildTableI(keep *gpu.CoverageSet) TableI {
+	var t TableI
+	add := func(module string, n *Netlist) {
+		a := n.Estimate()
+		t.Rows = append(t.Rows, Row{Module: module, Submodule: n.Name, Area: a})
+		t.Total.Add(a)
+	}
+	add("IGM", TraceAnalyzer())
+	add("IGM", P2S())
+	add("IGM", InputVectorGenerator())
+	add("MCM", InternalFIFO())
+	add("MCM", MLMIAOWDriver())
+	add("MCM", ControlFSM())
+	add("MCM", InterruptManager())
+
+	cu := trim.AreaOf(keep)
+	engine := Area{
+		LUTs:  cu.LUTs * MLMIAOWCUs,
+		FFs:   cu.FFs * MLMIAOWCUs,
+		BRAMs: cu.BRAMs * MLMIAOWCUs,
+	}
+	engine.Gates = GPUGates(engine.LUTs, engine.FFs, engine.BRAMs)
+	t.Rows = append(t.Rows, Row{Module: "MCM", Submodule: fmt.Sprintf("ML-MIAOW (%d CUs)", MLMIAOWCUs), Area: engine})
+	t.Total.Add(engine)
+	return t
+}
+
+// Utilisation returns the MLPU's share of the ZC706 fabric, the §IV-A
+// percentages (91.2 % LUTs, 18.5 % FFs, 27.5 % BRAMs).
+func (t TableI) Utilisation() (lut, ff, bram float64) {
+	return float64(t.Total.LUTs) / ZC706LUTs,
+		float64(t.Total.FFs) / ZC706FFs,
+		float64(t.Total.BRAMs) / ZC706BRAMs
+}
+
+// String renders the table in the paper's layout.
+func (t TableI) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-24s %10s %8s %6s %12s\n", "Module", "Submodule", "LUTs", "FFs", "BRAMs", "Gate Counts")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-6s %-24s %10d %8d %6d %12d\n",
+			r.Module, r.Submodule, r.Area.LUTs, r.Area.FFs, r.Area.BRAMs, r.Area.Gates)
+	}
+	fmt.Fprintf(&b, "%-6s %-24s %10d %8d %6d %12d\n", "Total", "",
+		t.Total.LUTs, t.Total.FFs, t.Total.BRAMs, t.Total.Gates)
+	lut, ff, bram := t.Utilisation()
+	fmt.Fprintf(&b, "MLPU utilisation: %.1f%% LUTs, %.1f%% FFs, %.1f%% BRAMs of the ZC706\n",
+		lut*100, ff*100, bram*100)
+	return b.String()
+}

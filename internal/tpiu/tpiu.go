@@ -1,0 +1,177 @@
+// Package tpiu models the CoreSight Trace Port Interface Unit: the SoC-edge
+// block that packs trace-source bytes into fixed 16-byte frames and drives
+// them over a 32-bit port, one word per fabric cycle. In the RTAD SoC the
+// port pins are looped back on-chip into the MLPU (Fig 1), so the consumer
+// is IGM's trace analyzer rather than an off-chip probe.
+//
+// Frame layout (16 bytes):
+//
+//	byte 0      trace-source ID (the PTM's ATID)
+//	bytes 1–14  payload trace bytes
+//	byte 15     valid-payload count (1–14; partial frames occur on flush)
+//
+// This is simpler than the CoreSight odd/even-byte interleave but preserves
+// what the evaluation depends on: fixed-size framing (so partial data waits
+// for a frame boundary), a one-byte-per-frame ID plus trailer overhead, and
+// a 32-bit word-per-cycle output rate.
+package tpiu
+
+import "rtad/internal/sim"
+
+// FrameBytes is the fixed frame size.
+const FrameBytes = 16
+
+// PayloadBytes is the usable trace capacity per frame.
+const PayloadBytes = FrameBytes - 2
+
+// DefaultSourceID is the ATID the RTAD driver assigns to the PTM.
+const DefaultSourceID byte = 0x41
+
+// TimedWord is one 32-bit beat on the trace port with its emission time.
+type TimedWord struct {
+	At sim.Time
+	W  uint32
+}
+
+// Config parameterises the formatter.
+type Config struct {
+	SourceID byte
+	Clock    *sim.Clock // port clock; defaults to sim.FabricClock
+}
+
+// Formatter packs timed trace bytes into frames and emits them as timed
+// 32-bit words. A frame is emitted only once full (or on Flush), which adds
+// the framing component of the trace-visibility latency in Fig 7.
+type Formatter struct {
+	cfg    Config
+	buf    []byte
+	bufAt  sim.Time // time the most recent buffered byte arrived
+	freeAt sim.Time // next instant the output port is free
+	out    []TimedWord
+
+	frames int64
+}
+
+// NewFormatter returns a formatter with cfg applied.
+func NewFormatter(cfg Config) *Formatter {
+	if cfg.SourceID == 0 {
+		cfg.SourceID = DefaultSourceID
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.FabricClock
+	}
+	return &Formatter{cfg: cfg}
+}
+
+// Frames reports how many frames have been emitted.
+func (f *Formatter) Frames() int64 { return f.frames }
+
+// Buffered reports bytes waiting for a frame boundary.
+func (f *Formatter) Buffered() int { return len(f.buf) }
+
+// Push adds one trace byte arriving at time at.
+func (f *Formatter) Push(at sim.Time, b byte) {
+	f.buf = append(f.buf, b)
+	if at > f.bufAt {
+		f.bufAt = at
+	}
+	if len(f.buf) >= PayloadBytes {
+		f.emit()
+	}
+}
+
+// Flush emits any partial frame at time at (trace-run end, or the driver's
+// formatter-stop sequence).
+func (f *Formatter) Flush(at sim.Time) {
+	if len(f.buf) == 0 {
+		return
+	}
+	if at > f.bufAt {
+		f.bufAt = at
+	}
+	f.emit()
+}
+
+// emit frames the first PayloadBytes (or fewer) buffered bytes and schedules
+// the frame's four words on the port.
+func (f *Formatter) emit() {
+	n := len(f.buf)
+	if n > PayloadBytes {
+		n = PayloadBytes
+	}
+	var frame [FrameBytes]byte
+	frame[0] = f.cfg.SourceID
+	copy(frame[1:1+n], f.buf[:n])
+	frame[FrameBytes-1] = byte(n)
+	f.buf = f.buf[:copy(f.buf, f.buf[n:])]
+
+	beat := f.cfg.Clock.NextEdge(f.bufAt)
+	if beat < f.freeAt {
+		beat = f.freeAt
+	}
+	for i := 0; i < FrameBytes; i += 4 {
+		w := uint32(frame[i]) | uint32(frame[i+1])<<8 |
+			uint32(frame[i+2])<<16 | uint32(frame[i+3])<<24
+		f.out = append(f.out, TimedWord{At: beat, W: w})
+		beat += f.cfg.Clock.Period()
+	}
+	f.freeAt = beat
+	f.frames++
+
+	if len(f.buf) >= PayloadBytes {
+		f.emit()
+	}
+}
+
+// Take returns and clears the emitted word stream.
+func (f *Formatter) Take() []TimedWord {
+	out := f.out
+	f.out = nil
+	return out
+}
+
+// Deframer reassembles the payload byte stream from port words. It is the
+// front half of IGM's trace analyzer.
+type Deframer struct {
+	frame [FrameBytes]byte
+	nbuf  int
+
+	// BadFrames counts frames whose source ID did not match.
+	BadFrames int64
+	expectID  byte
+}
+
+// NewDeframer returns a deframer accepting frames from sourceID (0 means
+// DefaultSourceID).
+func NewDeframer(sourceID byte) *Deframer {
+	if sourceID == 0 {
+		sourceID = DefaultSourceID
+	}
+	return &Deframer{expectID: sourceID}
+}
+
+// Feed consumes one 32-bit port word and returns any completed frame's
+// payload bytes.
+func (d *Deframer) Feed(w uint32) []byte {
+	d.frame[d.nbuf] = byte(w)
+	d.frame[d.nbuf+1] = byte(w >> 8)
+	d.frame[d.nbuf+2] = byte(w >> 16)
+	d.frame[d.nbuf+3] = byte(w >> 24)
+	d.nbuf += 4
+	if d.nbuf < FrameBytes {
+		return nil
+	}
+	d.nbuf = 0
+	if d.frame[0] != d.expectID {
+		d.BadFrames++
+		return nil
+	}
+	n := int(d.frame[FrameBytes-1])
+	if n < 1 || n > PayloadBytes {
+		d.BadFrames++
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.frame[1:1+n])
+	return out
+}

@@ -1,0 +1,142 @@
+// Package tracefile defines a small container for captured PTM traces so
+// they can be moved between tools (capture with cmd/tracegen, inspect with
+// cmd/traceanalyze, replay through IGM in tests). A file carries the raw
+// packet stream plus everything offline decoding needs: the traced
+// program's image (for atom-mode reconstruction) and the capture mode.
+//
+// Layout (little-endian):
+//
+//	magic    [8]byte  "RTADTRC\x01"
+//	flags    uint32   bit0 = branch-broadcast capture
+//	base     uint32   program base address
+//	nwords   uint32   program length in instruction words
+//	words    [nwords]uint32
+//	nstream  uint32   trace length in bytes
+//	stream   [nstream]byte
+//	crc      uint32   IEEE CRC-32 of everything above
+package tracefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"rtad/internal/isa"
+)
+
+var magic = [8]byte{'R', 'T', 'A', 'D', 'T', 'R', 'C', 1}
+
+// FlagBroadcast marks a branch-broadcast capture (every taken branch has an
+// address packet; no program image needed to interpret it).
+const FlagBroadcast uint32 = 1 << 0
+
+// File is a decoded trace container.
+type File struct {
+	Broadcast bool
+	Program   *isa.Program
+	Stream    []byte
+}
+
+// maxSaneWords bounds allocation when reading untrusted files.
+const maxSaneWords = 64 << 20
+
+// Write serialises f.
+func Write(w io.Writer, f *File) error {
+	if f.Program == nil {
+		return fmt.Errorf("tracefile: nil program")
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	put := func(v uint32) error { return binary.Write(mw, binary.LittleEndian, v) }
+
+	if _, err := mw.Write(magic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if f.Broadcast {
+		flags |= FlagBroadcast
+	}
+	if err := put(flags); err != nil {
+		return err
+	}
+	if err := put(f.Program.Base); err != nil {
+		return err
+	}
+	if err := put(uint32(len(f.Program.Words))); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, f.Program.Words); err != nil {
+		return err
+	}
+	if err := put(uint32(len(f.Stream))); err != nil {
+		return err
+	}
+	if _, err := mw.Write(f.Stream); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// Read parses a trace container, verifying magic and checksum.
+func Read(r io.Reader) (*File, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	get := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(tr, binary.LittleEndian, &v)
+		return v, err
+	}
+
+	var m [8]byte
+	if _, err := io.ReadFull(tr, m[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", m[:])
+	}
+	flags, err := get()
+	if err != nil {
+		return nil, err
+	}
+	base, err := get()
+	if err != nil {
+		return nil, err
+	}
+	nwords, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nwords == 0 || nwords > maxSaneWords {
+		return nil, fmt.Errorf("tracefile: implausible program size %d words", nwords)
+	}
+	words := make([]uint32, nwords)
+	if err := binary.Read(tr, binary.LittleEndian, words); err != nil {
+		return nil, fmt.Errorf("tracefile: truncated program: %w", err)
+	}
+	nstream, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nstream > maxSaneWords {
+		return nil, fmt.Errorf("tracefile: implausible stream size %d", nstream)
+	}
+	stream := make([]byte, nstream)
+	if _, err := io.ReadFull(tr, stream); err != nil {
+		return nil, fmt.Errorf("tracefile: truncated stream: %w", err)
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("tracefile: missing checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("tracefile: checksum mismatch (%#x vs %#x)", got, want)
+	}
+	prog := &isa.Program{Base: base, Words: words, Symbols: map[string]uint32{}}
+	return &File{
+		Broadcast: flags&FlagBroadcast != 0,
+		Program:   prog,
+		Stream:    stream,
+	}, nil
+}

@@ -1,0 +1,108 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rtad/internal/isa"
+)
+
+func sampleProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble("start:\n mov r0, #1\n b start", 0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := &File{
+		Broadcast: true,
+		Program:   sampleProgram(t),
+		Stream:    []byte{0, 0, 0, 0, 0, 0x80, 0x08, 1, 2, 3, 4, 5},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Broadcast {
+		t.Error("broadcast flag lost")
+	}
+	if got.Program.Base != f.Program.Base || len(got.Program.Words) != len(f.Program.Words) {
+		t.Error("program image lost")
+	}
+	for i := range f.Program.Words {
+		if got.Program.Words[i] != f.Program.Words[i] {
+			t.Fatalf("program word %d differs", i)
+		}
+	}
+	if !bytes.Equal(got.Stream, f.Stream) {
+		t.Error("stream lost")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	f := &File{Program: sampleProgram(t), Stream: []byte{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a stream byte: checksum must catch it.
+	data[len(data)-6] ^= 0xFF
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted file accepted")
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+	// Valid magic but truncated body.
+	f := &File{Program: sampleProgram(t), Stream: []byte{1, 2, 3, 4}}
+	var buf bytes.Buffer
+	Write(&buf, f)
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestWriteRejectsNilProgram(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, &File{}); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+// Property: any stream content round-trips byte-exact.
+func TestStreamRoundTripProperty(t *testing.T) {
+	prog := sampleProgram(t)
+	propFn := func(stream []byte, broadcast bool) bool {
+		f := &File{Broadcast: broadcast, Program: prog, Stream: stream}
+		var buf bytes.Buffer
+		if err := Write(&buf, f); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Broadcast == broadcast && bytes.Equal(got.Stream, stream)
+	}
+	if err := quick.Check(propFn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

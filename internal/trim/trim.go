@@ -1,0 +1,149 @@
+// Package trim implements the coverage-driven trimming flow of Fig 4:
+// (1) run dynamic simulations of the target ML models with block coverage
+// enabled, (2) merge the per-model coverage sets, (3) identify and remove
+// uncovered blocks, and (4) verify that the trimmed core computes exactly
+// the same results as the original. It also implements the MIAOW2.0-style
+// baseline trimmer — which only removes unused logic inside ALU and
+// instruction-decoder sub-blocks — so Table II's comparison can be
+// regenerated.
+package trim
+
+import (
+	"fmt"
+
+	"rtad/internal/gpu"
+)
+
+// Workload exercises one target ML model on a device and returns a digest
+// of its observable results. The flow runs each workload twice — once on
+// the full core with coverage, once on the trimmed core — and requires
+// identical digests (the Fig 4 verification step).
+type Workload struct {
+	Name string
+	Run  func(dev *gpu.Device) ([]uint32, error)
+}
+
+// Area is an FPGA footprint.
+type Area struct {
+	LUTs  int
+	FFs   int
+	BRAMs int
+}
+
+// Sum returns LUTs+FFs, the quantity Table II reports reductions over.
+func (a Area) Sum() int { return a.LUTs + a.FFs }
+
+// Reduction returns the fractional area saving of a relative to full.
+func (a Area) Reduction(full Area) float64 {
+	return 1 - float64(a.Sum())/float64(full.Sum())
+}
+
+// AreaOf sums the footprint of the blocks in keep; a nil keep means the
+// full (untrimmed) core.
+func AreaOf(keep *gpu.CoverageSet) Area {
+	var out Area
+	for _, b := range gpu.Blocks() {
+		if keep == nil || keep[b.ID] {
+			out.LUTs += b.LUTs
+			out.FFs += b.FFs
+			out.BRAMs += b.BRAMs
+		}
+	}
+	return out
+}
+
+// MIAOW20Keep computes the block set the MIAOW2.0-style trimmer retains:
+// uncovered blocks are removed only when they are ALU or decoder
+// sub-blocks; everything else stays, because that tool analyses the target
+// application's instructions rather than HDL coverage (§II).
+func MIAOW20Keep(cov gpu.CoverageSet) gpu.CoverageSet {
+	keep := cov
+	for _, b := range gpu.Blocks() {
+		if b.Cat != gpu.CatALU && b.Cat != gpu.CatDecode {
+			keep[b.ID] = true
+		}
+	}
+	return keep
+}
+
+// Result reports one trimming-flow run.
+type Result struct {
+	// Coverage is the merged covered-block set of all workloads.
+	Coverage gpu.CoverageSet
+	// Trimmed lists the removed blocks.
+	Trimmed []gpu.BlockID
+	// Verified is true when every workload produced identical results on
+	// the trimmed core.
+	Verified bool
+	// Areas of the three Table II configurations (per compute unit).
+	MIAOW   Area
+	MIAOW20 Area
+	MLMIAOW Area
+}
+
+// PerfPerAreaVsMIAOW20 is the headline Table II ratio: both cores deliver
+// the same per-CU performance, so performance-per-area is inversely
+// proportional to area.
+func (r *Result) PerfPerAreaVsMIAOW20() float64 {
+	return float64(r.MIAOW20.Sum()) / float64(r.MLMIAOW.Sum())
+}
+
+// MemWords is the device memory the flow provisions for workloads.
+const MemWords = 1 << 16
+
+// Run executes the four-step flow over the given workloads.
+func Run(workloads []Workload) (*Result, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("trim: no workloads")
+	}
+	// Steps 1–2: dynamic simulation with coverage on, merged across
+	// workloads (a fresh device per workload, like separate simulations;
+	// the coverage sets are OR-merged as ICCR does).
+	var merged gpu.CoverageSet
+	reference := make([][]uint32, len(workloads))
+	for i, w := range workloads {
+		dev := gpu.NewDevice(MemWords, 1)
+		dev.EnableCoverage()
+		digest, err := w.Run(dev)
+		if err != nil {
+			return nil, fmt.Errorf("trim: coverage run of %s: %w", w.Name, err)
+		}
+		reference[i] = digest
+		merged.Merge(dev.Coverage())
+	}
+
+	// Step 3: trim uncovered blocks.
+	res := &Result{
+		Coverage: merged,
+		Trimmed:  merged.Uncovered(),
+		MIAOW:    AreaOf(nil),
+	}
+	m20 := MIAOW20Keep(merged)
+	res.MIAOW20 = AreaOf(&m20)
+	res.MLMIAOW = AreaOf(&merged)
+
+	// Step 4: verify the trimmed core against the original results.
+	res.Verified = true
+	for i, w := range workloads {
+		dev := gpu.NewDevice(MemWords, 1)
+		dev.SetTrim(merged)
+		digest, err := w.Run(dev)
+		if err != nil {
+			return nil, fmt.Errorf("trim: verification run of %s: %w", w.Name, err)
+		}
+		if len(digest) != len(reference[i]) {
+			res.Verified = false
+			continue
+		}
+		for k := range digest {
+			if digest[k] != reference[i][k] {
+				res.Verified = false
+				break
+			}
+		}
+	}
+	if !res.Verified {
+		return res, fmt.Errorf("trim: trimmed core diverges from original results")
+	}
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package trim
+
+import (
+	"math/rand"
+
+	"rtad/internal/gpu"
+	"rtad/internal/kernels"
+	"rtad/internal/ml"
+)
+
+// StandardWorkloads returns the trimming flow's target applications: the
+// ELM and LSTM inference engines, each run over a deterministic stream of
+// input windows. This is the "simultaneous trimming for multiple
+// applications" configuration — the merged coverage keeps the union of
+// what both models need, so the one trimmed core serves either (§II).
+func StandardWorkloads(elm *ml.ELM, lstm *ml.LSTM, steps int) []Workload {
+	if steps <= 0 {
+		steps = 12
+	}
+	return []Workload{
+		{Name: "elm-inference", Run: func(dev *gpu.Device) ([]uint32, error) {
+			eng, err := kernels.NewELMEngine(dev, elm)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(71))
+			var digest []uint32
+			w := make([]int32, kernels.ELMWindow)
+			for s := 0; s < steps; s++ {
+				for i := range w {
+					w[i] = int32(rng.Intn(kernels.ELMVocab))
+				}
+				j, _, err := eng.Infer(w)
+				if err != nil {
+					return nil, err
+				}
+				digest = append(digest, uint32(j.MarginQ), uint32(j.EwmaQ), boolWord(j.Anomaly))
+			}
+			return digest, nil
+		}},
+		{Name: "lstm-inference", Run: func(dev *gpu.Device) ([]uint32, error) {
+			eng, err := kernels.NewLSTMEngine(dev, lstm)
+			if err != nil {
+				return nil, err
+			}
+			rng := rand.New(rand.NewSource(72))
+			var digest []uint32
+			w := make([]int32, kernels.LSTMWindow)
+			for s := 0; s < steps; s++ {
+				for i := range w {
+					w[i] = int32(rng.Intn(kernels.LSTMVocab))
+				}
+				j, _, err := eng.Infer(w)
+				if err != nil {
+					return nil, err
+				}
+				digest = append(digest, uint32(j.MarginQ), uint32(j.EwmaQ), boolWord(j.Anomaly))
+			}
+			// Fold the recurrent state into the digest: the trimmed core
+			// must reproduce it exactly.
+			for i := 0; i < kernels.LSTMHidden; i++ {
+				digest = append(digest, dev.Mem[kernels.LSTMH+i], dev.Mem[kernels.LSTMC+i])
+			}
+			return digest, nil
+		}},
+	}
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,343 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtad/internal/isa"
+)
+
+// Register conventions of generated code (on top of the cpu package's
+// loader conventions: SP = stack top, R10 = data base):
+//
+//	r0,r1,r2,r12 — scratch, clobbered freely
+//	r3           — current function index (Markov dispatch state)
+//	r4           — dispatch target
+//	r6           — in-program xorshift/LCG state (drives data-dependent branches)
+//	r7           — LCG multiplier constant
+//	r8           — syscall pacing threshold
+//	r9           — syscall pacing counter
+//	r11          — inner-loop counter
+//
+// Data-memory layout (byte offsets from R10):
+//
+//	[0,   64)  function-pointer table (one word per dispatched function)
+//	[64, 320)  Markov successor table (four function indices per function)
+//	[384, 640) per-function computed-goto tables (two code addresses each)
+//	[1024, 3072) scratch array touched by generated loads/stores
+const (
+	funcTblOff  = 0
+	nextTblOff  = 64
+	jumpTblOff  = 384
+	scratchOff  = 1024
+	scratchSize = 2048
+)
+
+// lcgMul is the in-program LCG multiplier (fits LoadConst's 24-bit range).
+const lcgMul = 1664525 & 0xffffff
+
+// ProgramBase is where generated benchmarks are linked.
+const ProgramBase uint32 = 0x8000
+
+// Generate builds the benchmark binary for p. The program never halts — it
+// is an endless main loop dispatching functions through a learned-structure
+// Markov successor table — so callers bound execution with cpu.Run budgets,
+// the way the evaluation bounds SPEC runs.
+func (p Profile) Generate() (*isa.Program, error) {
+	if p.Funcs <= 0 || p.Funcs > 16 || p.Funcs&(p.Funcs-1) != 0 {
+		return nil, fmt.Errorf("workload %s: Funcs must be a power of two in [1,16], got %d", p.Name, p.Funcs)
+	}
+	g := &generator{
+		p:   p,
+		rng: rand.New(rand.NewSource(p.Seed)),
+		b:   isa.NewBuilder(ProgramBase),
+	}
+	g.plan()
+	g.emitInit()
+	g.emitMainLoop()
+	for i := range g.funcs {
+		g.emitFunction(i)
+	}
+	for i := 0; i < p.Leaves; i++ {
+		g.emitLeaf(i)
+	}
+	return g.b.Build()
+}
+
+// funcPlan is the pre-computed shape of one dispatched function.
+type funcPlan struct {
+	blocks     int
+	loopBlock  int // block index hosting the counted loop, -1 if none
+	loopIters  int
+	jumpBlock  int           // block index ending in a computed goto, -1 if none
+	svcBlocks  map[int]int32 // block index -> service number
+	successors [4]int        // Markov successor function indices
+}
+
+type generator struct {
+	p     Profile
+	rng   *rand.Rand
+	b     *isa.Builder
+	funcs []funcPlan
+}
+
+func (g *generator) intIn(lohi [2]int) int {
+	if lohi[1] <= lohi[0] {
+		return lohi[0]
+	}
+	return lohi[0] + g.rng.Intn(lohi[1]-lohi[0]+1)
+}
+
+// plan decides the static structure of every function up front so that
+// init-time table filling knows each function's labels.
+func (g *generator) plan() {
+	p := g.p
+	g.funcs = make([]funcPlan, p.Funcs)
+	// Distribute the benchmark's syscall sites across functions.
+	type site struct{ fn, seq int }
+	var svcSites []site
+	for s := 0; s < p.SvcsPerRun; s++ {
+		svcSites = append(svcSites, site{fn: g.rng.Intn(p.Funcs), seq: s})
+	}
+	for i := range g.funcs {
+		f := &g.funcs[i]
+		f.blocks = g.intIn(p.BlocksPerFunc)
+		f.loopBlock, f.jumpBlock = -1, -1
+		if g.rng.Float64() < p.LoopFrac {
+			f.loopBlock = g.rng.Intn(f.blocks)
+			f.loopIters = g.intIn(p.LoopIters)
+		}
+		// Call/indirect-heavy benchmarks get computed gotos in some
+		// functions (switch dispatch, virtual calls).
+		if p.Funcs >= 16 && i%4 == 0 && f.blocks >= 3 {
+			f.jumpBlock = g.rng.Intn(f.blocks - 2) // must have 2 later targets
+		}
+		f.svcBlocks = map[int]int32{}
+		// Markov successors: a repeated favourite biases the chain
+		// (learnable temporal structure); the ring successor keeps the
+		// chain strongly connected so every function is eventually
+		// dispatched.
+		a := g.rng.Intn(p.Funcs)
+		b := g.rng.Intn(p.Funcs)
+		f.successors = [4]int{a, a, b, (i + 1) % p.Funcs}
+	}
+	for _, s := range svcSites {
+		// Sites live in block 0 so reaching the function guarantees the
+		// pacing guard executes (later blocks can be skipped over).
+		g.funcs[s.fn].svcBlocks[0] = int32(1 + g.rng.Intn(31))
+	}
+}
+
+func fnLabel(i int) string         { return fmt.Sprintf("f%d", i) }
+func leafLabel(i int) string       { return fmt.Sprintf("leaf%d", i) }
+func blockLabel(f, blk int) string { return fmt.Sprintf("f%d_b%d", f, blk) }
+func epilogueLabel(f int) string   { return fmt.Sprintf("f%d_epi", f) }
+
+// emitInit fills the dispatch tables and seeds the in-program RNG and
+// syscall pacing registers.
+func (g *generator) emitInit() {
+	b := g.b
+	p := g.p
+	b.Label("init")
+	b.LoadConst(isa.R7, lcgMul)
+	b.LoadConst(isa.R6, uint32(p.Seed*2654435+12345)&0xffffff|1)
+	b.LoadConst(isa.R8, uint32(p.SyscallInterval))
+	b.MovImm(isa.R9, 0)
+	b.MovImm(isa.R3, 0) // start dispatch at f0
+	for i := 0; i < p.Funcs; i++ {
+		b.LoadAddr(isa.R0, fnLabel(i))
+		b.Str(isa.R0, isa.R10, int32(funcTblOff+i*4))
+	}
+	for i, f := range g.funcs {
+		for s, succ := range f.successors {
+			b.MovImm(isa.R0, int32(succ))
+			b.Str(isa.R0, isa.R10, int32(nextTblOff+i*16+s*4))
+		}
+		if f.jumpBlock >= 0 {
+			// Two forward targets for the computed goto.
+			t1 := f.jumpBlock + 1
+			t2 := f.jumpBlock + 2
+			b.LoadAddr(isa.R0, blockLabel(i, t1))
+			b.Str(isa.R0, isa.R10, int32(jumpTblOff+i*8))
+			b.LoadAddr(isa.R0, blockLabel(i, t2))
+			b.Str(isa.R0, isa.R10, int32(jumpTblOff+i*8+4))
+		}
+	}
+}
+
+// emitMainLoop emits the endless dispatcher: advance the RNG, bump the
+// syscall pacer, follow the Markov successor table, and indirect-call the
+// chosen function.
+func (g *generator) emitMainLoop() {
+	b := g.b
+	b.Label("mainloop")
+	// r6 = r6 * lcgMul + 2039 (any odd increment keeps the LCG full-period)
+	b.Op3(isa.MUL, isa.R6, isa.R6, isa.R7)
+	b.Op3i(isa.ADD, isa.R6, isa.R6, 2039)
+	b.Op3i(isa.ADD, isa.R9, isa.R9, 1)
+	// next = nextTbl[r3][ (r6>>5) & 3 ]
+	b.Op3i(isa.LSL, isa.R0, isa.R3, 4)
+	b.Op3i(isa.LSR, isa.R1, isa.R6, 5)
+	b.Op3i(isa.AND, isa.R1, isa.R1, 3)
+	b.Op3i(isa.LSL, isa.R1, isa.R1, 2)
+	b.Op3(isa.ADD, isa.R0, isa.R0, isa.R1)
+	b.Op3(isa.ADD, isa.R0, isa.R0, isa.R10)
+	b.Ldr(isa.R3, isa.R0, nextTblOff)
+	// target = funcTbl[r3]
+	b.Op3i(isa.LSL, isa.R0, isa.R3, 2)
+	b.Op3(isa.ADD, isa.R0, isa.R0, isa.R10)
+	b.Ldr(isa.R4, isa.R0, funcTblOff)
+	b.Blr(isa.R4)
+	b.Branch(isa.B, "mainloop")
+}
+
+var scratchRegs = []isa.Reg{isa.R0, isa.R1, isa.R2, isa.R12}
+
+// emitStraightLine emits n data-processing/memory instructions.
+func (g *generator) emitStraightLine(n int) {
+	b := g.b
+	ops := []isa.Op{isa.ADD, isa.SUB, isa.EOR, isa.ORR, isa.AND, isa.LSL, isa.LSR, isa.MUL}
+	for k := 0; k < n; k++ {
+		if g.rng.Float64() < g.p.MemFrac {
+			off := int32(scratchOff + 4*g.rng.Intn(scratchSize/4))
+			r := scratchRegs[g.rng.Intn(len(scratchRegs))]
+			if g.rng.Intn(2) == 0 {
+				b.Ldr(r, isa.R10, off)
+			} else {
+				b.Str(r, isa.R10, off)
+			}
+			continue
+		}
+		op := ops[g.rng.Intn(len(ops))]
+		rd := scratchRegs[g.rng.Intn(len(scratchRegs))]
+		rn := scratchRegs[g.rng.Intn(len(scratchRegs))]
+		switch op {
+		case isa.LSL, isa.LSR:
+			b.Op3i(op, rd, rn, int32(1+g.rng.Intn(7)))
+		default:
+			if g.rng.Intn(2) == 0 {
+				b.Op3i(op, rd, rn, int32(g.rng.Intn(256)))
+			} else {
+				rm := scratchRegs[g.rng.Intn(len(scratchRegs))]
+				b.Op3(op, rd, rn, rm)
+			}
+		}
+	}
+}
+
+// emitRNGTap advances the in-program RNG so later conditionals see fresh
+// bits; emitted roughly once per block.
+func (g *generator) emitRNGTap() {
+	g.b.Op3(isa.MUL, isa.R6, isa.R6, isa.R7)
+	g.b.Op3i(isa.ADD, isa.R6, isa.R6, int32(g.rng.Intn(4096)))
+}
+
+// emitConditional emits a data-dependent conditional branch to target,
+// taken with approximately probability bias.
+func (g *generator) emitConditional(target string, bias float64) {
+	b := g.b
+	shift := int32(g.rng.Intn(16))
+	cut := int32(bias * 256)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > 255 {
+		cut = 255
+	}
+	b.Op3i(isa.LSR, isa.R1, isa.R6, shift)
+	b.Op3i(isa.AND, isa.R1, isa.R1, 255)
+	b.CmpImm(isa.R1, cut)
+	b.Branch(isa.BLT, target) // P(r1 < cut) ≈ cut/256
+}
+
+// blockSize samples a straight-line length, bimodal when the profile is
+// bursty (omnetpp-style tight branch clusters).
+func (g *generator) blockSize() int {
+	if g.p.Burst && g.rng.Float64() < 0.6 {
+		return 1 + g.rng.Intn(2)
+	}
+	return g.intIn(g.p.BlockALU)
+}
+
+// emitFunction emits dispatched function i: prologue (it makes calls), the
+// planned blocks with loops / computed gotos / guarded syscalls, epilogue.
+func (g *generator) emitFunction(i int) {
+	b := g.b
+	f := g.funcs[i]
+	b.Label(fnLabel(i))
+	// Prologue: save lr (dispatched functions may call leaves).
+	b.Op3i(isa.SUB, isa.SP, isa.SP, 8)
+	b.Str(isa.LR, isa.SP, 0)
+
+	for blk := 0; blk < f.blocks; blk++ {
+		b.Label(blockLabel(i, blk))
+
+		if blk == f.loopBlock {
+			b.MovImm(isa.R11, int32(f.loopIters))
+			b.Label(blockLabel(i, blk) + "_loop")
+		}
+
+		g.emitStraightLine(g.blockSize())
+		if g.rng.Float64() < 0.5 {
+			g.emitRNGTap()
+		}
+		if svc, ok := f.svcBlocks[blk]; ok {
+			// Guarded syscall: fires only when the pacing counter has
+			// reached the benchmark's interval.
+			skip := fmt.Sprintf("f%d_b%d_nosvc", i, blk)
+			b.Cmp(isa.R9, isa.R8)
+			b.Branch(isa.BLT, skip)
+			b.MovImm(isa.R9, 0)
+			b.Svc(svc)
+			b.Label(skip)
+		}
+		if g.rng.Float64() < g.p.CallFrac && g.p.Leaves > 0 {
+			b.Branch(isa.BL, leafLabel(g.rng.Intn(g.p.Leaves)))
+		}
+
+		if blk == f.loopBlock {
+			b.Op3i(isa.SUB, isa.R11, isa.R11, 1)
+			b.CmpImm(isa.R11, 0)
+			b.Branch(isa.BNE, blockLabel(i, blk)+"_loop")
+		}
+
+		switch {
+		case blk == f.jumpBlock:
+			// Computed goto through the per-function jump table.
+			b.Op3i(isa.LSR, isa.R1, isa.R6, 3)
+			b.Op3i(isa.AND, isa.R1, isa.R1, 1)
+			b.Op3i(isa.LSL, isa.R1, isa.R1, 2)
+			b.Op3(isa.ADD, isa.R1, isa.R1, isa.R10)
+			b.Ldr(isa.R1, isa.R1, int32(jumpTblOff+i*8))
+			b.Br(isa.R1)
+		case blk < f.blocks-1:
+			// Conditional skip forward to a random later block (or the
+			// epilogue), else fall through.
+			target := epilogueLabel(i)
+			if later := blk + 1 + g.rng.Intn(f.blocks-blk-1); later < f.blocks && g.rng.Intn(4) != 0 {
+				target = blockLabel(i, later)
+			}
+			g.emitConditional(target, g.p.TakenBias)
+		}
+	}
+
+	b.Label(epilogueLabel(i))
+	b.Ldr(isa.LR, isa.SP, 0)
+	b.Op3i(isa.ADD, isa.SP, isa.SP, 8)
+	b.Ret()
+}
+
+// emitLeaf emits helper function i: short straight-line work with at most
+// one forward conditional, no calls, no frame.
+func (g *generator) emitLeaf(i int) {
+	b := g.b
+	b.Label(leafLabel(i))
+	g.emitStraightLine(1 + g.rng.Intn(4))
+	if g.rng.Intn(2) == 0 {
+		skip := fmt.Sprintf("leaf%d_skip", i)
+		g.emitConditional(skip, 0.5)
+		g.emitStraightLine(1 + g.rng.Intn(3))
+		b.Label(skip)
+	}
+	b.Ret()
+}
