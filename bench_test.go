@@ -8,7 +8,9 @@
 //	BenchmarkFig8     — latencies of anomaly detection (Fig 8)
 //
 // Each prints the regenerated rows/series once and reports the headline
-// quantities as benchmark metrics. Ablation benchmarks then sweep the
+// quantities as benchmark metrics. BenchmarkFleetDetectionGrid measures
+// the core.Fleet speedup on a fixed detection-job grid (width 1 vs one
+// worker per CPU). Ablation benchmarks then sweep the
 // design choices DESIGN.md calls out (CU count, IGM stride, MCM FIFO depth,
 // PTM drain threshold), and micro-benchmarks measure the hot simulation
 // paths themselves.
@@ -17,6 +19,7 @@ package rtad
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -217,6 +220,45 @@ func BenchmarkAblationDrainThreshold(b *testing.B) {
 				read = tb.Read
 			}
 			b.ReportMetric(read.Microseconds(), "us-read-stage")
+		})
+	}
+}
+
+// BenchmarkFleetDetectionGrid runs a fixed detection-job grid through
+// core.Fleet at width 1 and at one worker per CPU: the wall-clock ratio is
+// the fleet speedup (results are bit-identical at any width, so only time
+// differs). This is the concurrency payoff behind the parallel Fig 6/Fig 8
+// paths.
+func BenchmarkFleetDetectionGrid(b *testing.B) {
+	dep := lstmDeployment(b)
+	var jobs []core.Job
+	for _, cus := range []int{1, 5} {
+		for _, stride := range []int{512, 1024, 3840} {
+			jobs = append(jobs, core.Job{
+				Dep:    dep,
+				Config: core.PipelineConfig{CUs: cus, Stride: stride},
+				Attack: core.AttackSpec{Seed: 3},
+				Instr:  2_000_000,
+			})
+		}
+	}
+	widths := []int{1, runtime.GOMAXPROCS(0)}
+	if widths[1] == 1 {
+		widths = widths[:1] // single-CPU host: widths coincide
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			fleet := core.NewFleet(workers)
+			for i := 0; i < b.N; i++ {
+				results, err := fleet.Detect(jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(jobs) {
+					b.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+				}
+			}
+			b.ReportMetric(float64(len(jobs)), "jobs/op")
 		})
 	}
 }

@@ -6,9 +6,16 @@
 //
 //	experiments -all
 //	experiments -fig8 -benchmarks sjeng,omnetpp -detect 2000000
+//	experiments -all -workers 8 -json results.json
+//
+// The grid experiments (Fig 6, Fig 8) fan their benchmark × model cells
+// over a session fleet sized by -workers; results are bit-identical at any
+// width. -json additionally writes every computed result as one
+// machine-readable document.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,10 +38,12 @@ func main() {
 		overhead   = flag.Int64("overhead", 0, "Fig 6 instruction budget per run")
 		detect     = flag.Int64("detect", 0, "Fig 8 instruction budget per detection run")
 		fig7Bench  = flag.String("fig7bench", "401.bzip2", "benchmark for Fig 7")
+		workers    = flag.Int("workers", 0, "fleet width for the grid experiments (0 = one per CPU)")
+		jsonPath   = flag.String("json", "", "also write results as JSON to this path")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{OverheadInstr: *overhead, DetectInstr: *detect}
+	opts := experiments.Options{OverheadInstr: *overhead, DetectInstr: *detect, Workers: *workers}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}
@@ -43,7 +52,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(name string, enabled bool, f func() (fmt.Stringer, error)) {
+	report := experiments.NewReport(opts)
+
+	run := func(name, key string, enabled bool, f func() (fmt.Stringer, error)) {
 		if !*all && !enabled {
 			return
 		}
@@ -53,22 +64,58 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), res)
+		wall := time.Since(start).Seconds()
+		report.WallSeconds[key] = wall
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, wall, res)
 	}
 
-	run("Table II — trimming result of ML-MIAOW", *table2, func() (fmt.Stringer, error) {
-		return experiments.TableII(opts)
+	run("Table II — trimming result of ML-MIAOW", "table2", *table2, func() (fmt.Stringer, error) {
+		res, err := experiments.TableII(opts)
+		if err == nil {
+			report.TableII = res.Report()
+		}
+		return res, err
 	})
-	run("Table I — synthesized results of RTAD", *table1, func() (fmt.Stringer, error) {
-		return experiments.TableI(opts)
+	run("Table I — synthesized results of RTAD", "table1", *table1, func() (fmt.Stringer, error) {
+		res, err := experiments.TableI(opts)
+		if err == nil {
+			report.TableI = res.Report()
+		}
+		return res, err
 	})
-	run("Fig 6 — performance overhead of RTAD", *fig6, func() (fmt.Stringer, error) {
-		return experiments.Fig6(opts)
+	run("Fig 6 — performance overhead of RTAD", "fig6", *fig6, func() (fmt.Stringer, error) {
+		res, err := experiments.Fig6(opts)
+		if err == nil {
+			report.Fig6 = res.Report()
+		}
+		return res, err
 	})
-	run("Fig 7 — data transfer latency of RTAD", *fig7, func() (fmt.Stringer, error) {
-		return experiments.Fig7(opts, *fig7Bench)
+	run("Fig 7 — data transfer latency of RTAD", "fig7", *fig7, func() (fmt.Stringer, error) {
+		res, err := experiments.Fig7(opts, *fig7Bench)
+		if err == nil {
+			report.Fig7 = res.Report()
+		}
+		return res, err
 	})
-	run("Fig 8 — latencies of anomaly detection", *fig8, func() (fmt.Stringer, error) {
-		return experiments.Fig8(opts)
+	run("Fig 8 — latencies of anomaly detection", "fig8", *fig8, func() (fmt.Stringer, error) {
+		res, err := experiments.Fig8(opts)
+		if err == nil {
+			report.Fig8 = res.Report()
+		}
+		return res, err
 	})
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+	}
 }

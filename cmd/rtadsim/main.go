@@ -102,6 +102,11 @@ func main() {
 	}
 	fmt.Printf("pipeline: %d vectors judged, %d dropped at the MCM FIFO (max occupancy %d)\n",
 		res.Judged, res.Dropped, res.MaxOcc)
+	fmt.Printf("stage queues (end of run):\n")
+	for _, st := range res.Stages {
+		fmt.Printf("  %-5s len %4d  max depth %4d  overflows %d\n",
+			st.Name, st.Len, st.MaxDepth, st.Overflows)
+	}
 }
 
 func modelThreshold(dep *core.Deployment) float64 {

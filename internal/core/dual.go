@@ -3,10 +3,6 @@ package core
 import (
 	"fmt"
 
-	"rtad/internal/attack"
-	"rtad/internal/axi"
-	"rtad/internal/cpu"
-	"rtad/internal/mcm"
 	"rtad/internal/sim"
 )
 
@@ -18,7 +14,8 @@ import (
 // context (window, stride, mapper table), and their MCM front-ends
 // time-multiplex the one compute engine and share the SoC interconnect —
 // so syscall-window judgments contend with branch-window judgments exactly
-// as they would on the prototype.
+// as they would on the prototype. The wiring lives in NewDualSession; this
+// is the batch wrapper.
 
 // DualResult pairs the two models' detection results from one victim run.
 type DualResult struct {
@@ -29,93 +26,33 @@ type DualResult struct {
 	SharedBusyAt sim.Time
 }
 
-// dualSink fans one retired-branch stream out to both pipelines.
-type dualSink struct {
-	a, b *Pipeline
-}
-
-func (d *dualSink) BranchRetired(ev cpu.BranchEvent) int64 {
-	sa := d.a.BranchRetired(ev)
-	sb := d.b.BranchRetired(ev)
-	if sb > sa {
-		return sb
-	}
-	return sa
-}
-
 // RunDualDetection deploys both models on one MLPU and injects the attack
-// once; both detectors judge the same aberrant behaviour.
+// once; both detectors judge the same aberrant behaviour. It is a thin
+// wrapper over a dual streaming Session run to completion.
 func RunDualDetection(elmDep, lstmDep *Deployment, cfg PipelineConfig, aspec AttackSpec, instr int64) (*DualResult, error) {
-	if elmDep.Kind != ModelELM || lstmDep.Kind != ModelLSTM {
-		return nil, fmt.Errorf("core: RunDualDetection needs one ELM and one LSTM deployment")
-	}
-	if elmDep.Profile.Name != lstmDep.Profile.Name {
-		return nil, fmt.Errorf("core: deployments monitor different benchmarks (%s vs %s)",
-			elmDep.Profile.Name, lstmDep.Profile.Name)
-	}
-	prog, err := elmDep.Profile.Generate()
+	s, err := NewDualSession(elmDep, lstmDep, cfg)
 	if err != nil {
 		return nil, err
 	}
-	bus, err := axi.RTADTopology()
-	if err != nil {
+	if err := s.Inject(aspec.withDefaults(instr)); err != nil {
 		return nil, err
 	}
-	shared := mcm.NewSharedEngine()
-
-	elmCfg := cfg.withDefaults(ModelELM)
-	elmCfg.SharedEngine, elmCfg.Bus = shared, bus
-	lstmCfg := cfg.withDefaults(ModelLSTM)
-	lstmCfg.SharedEngine, lstmCfg.Bus = shared, bus
-	elmPipe, err := NewPipeline(elmDep, elmCfg)
-	if err != nil {
+	if _, err := s.Step(instr); err != nil {
 		return nil, err
 	}
-	lstmPipe, err := NewPipeline(lstmDep, lstmCfg)
-	if err != nil {
+	if err := s.Drain(); err != nil {
 		return nil, err
 	}
-
-	if aspec.BurstLen <= 0 {
-		aspec.BurstLen = 32768
-	}
-	if aspec.TriggerBranch <= 0 {
-		aspec.TriggerBranch = instr / 40
-	}
-	inj, err := attack.New(attack.Config{
-		TriggerBranch: aspec.TriggerBranch,
-		BurstLen:      aspec.BurstLen,
-		Pool:          lstmDep.Pool,
-		Segment:       aspec.Mimicry,
-		Seed:          aspec.Seed,
-	}, &dualSink{a: elmPipe, b: lstmPipe})
-	if err != nil {
-		return nil, err
-	}
-	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: inj})
-	if _, err := c.Run(instr); err != nil {
-		return nil, err
-	}
-	end := sim.CPUClock.Duration(c.Cycles())
-	elmPipe.Flush(end)
-	lstmPipe.Flush(end)
-	if err := elmPipe.Err(); err != nil {
-		return nil, err
-	}
-	if err := lstmPipe.Err(); err != nil {
-		return nil, err
-	}
-	if !inj.Fired() {
+	if !s.AttackFired() {
 		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
 	}
-	injectTime := sim.CPUClock.Duration(inj.InjectedAtCycle)
 
-	out := &DualResult{SharedBusyAt: shared.FreeAt()}
-	out.ELM, err = summarise(elmDep, elmPipe, elmCfg, injectTime)
+	out := &DualResult{SharedBusyAt: s.SharedBusyAt()}
+	out.ELM, err = s.LaneSummary(0)
 	if err != nil {
 		return nil, fmt.Errorf("core: dual ELM: %w", err)
 	}
-	out.LSTM, err = summarise(lstmDep, lstmPipe, lstmCfg, injectTime)
+	out.LSTM, err = s.LaneSummary(1)
 	if err != nil {
 		return nil, fmt.Errorf("core: dual LSTM: %w", err)
 	}
@@ -132,6 +69,7 @@ func summarise(dep *Deployment, pipe *Pipeline, cfg PipelineConfig, injectTime s
 		Judged:     len(pipe.Judged()),
 		Dropped:    pipe.MCMStats().Dropped,
 		MaxOcc:     pipe.MCMStats().MaxOccupancy,
+		Stages:     SnapshotStages(pipe.Stages()),
 	}
 	var latSum sim.Time
 	var latN int64

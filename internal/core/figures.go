@@ -106,23 +106,19 @@ const ivgCycles = 2
 // retirement and vector emission, dominated by PTM hold-back buffering
 // (Fig 7's discussion).
 func MeasureRTADTransfer(dep *Deployment, pcfg PipelineConfig, instr int64) (TransferBreakdown, int, error) {
-	prog, err := dep.Profile.Generate()
+	// A session with no attack armed is exactly the clean-window pipeline
+	// run the figure needs.
+	s, err := NewSession(dep, pcfg)
 	if err != nil {
 		return TransferBreakdown{}, 0, err
 	}
-	pipe, err := NewPipeline(dep, pcfg)
-	if err != nil {
+	if _, err := s.Step(instr); err != nil {
 		return TransferBreakdown{}, 0, err
 	}
-	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: pipe})
-	if _, err := c.Run(instr); err != nil {
+	if err := s.Drain(); err != nil {
 		return TransferBreakdown{}, 0, err
 	}
-	pipe.Flush(sim.CPUClock.Duration(c.Cycles()))
-	if err := pipe.Err(); err != nil {
-		return TransferBreakdown{}, 0, err
-	}
-	judged := pipe.Judged()
+	judged := s.Results()
 	if len(judged) == 0 {
 		return TransferBreakdown{}, 0, fmt.Errorf("core: no vectors produced in %d instructions", instr)
 	}

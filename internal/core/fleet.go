@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Fleet runs independent detection sessions concurrently. Each session owns
+// its scheduler, CPU and pipeline, so runs stay bit-deterministic no matter
+// how they interleave; trained Deployments are read-only during inference
+// and safely shared across every worker (the contract DESIGN.md §4 states
+// and the -race fleet test enforces).
+type Fleet struct {
+	workers int
+}
+
+// NewFleet returns a fleet of the given width; workers <= 0 sizes it to
+// runtime.GOMAXPROCS(0).
+func NewFleet(workers int) *Fleet {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Fleet{workers: workers}
+}
+
+// Workers reports the pool width.
+func (f *Fleet) Workers() int { return f.workers }
+
+// Run executes fn(0..n-1) across the worker pool and returns the
+// lowest-index error (every index runs regardless of other indices'
+// failures, keeping error reporting deterministic under concurrency).
+func (f *Fleet) Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := f.workers
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Job is one detection run for Detect: a trained deployment (shared
+// read-only across jobs), the pipeline sizing, the attack, and the
+// instruction budget.
+type Job struct {
+	Dep    *Deployment
+	Config PipelineConfig
+	Attack AttackSpec
+	Instr  int64
+}
+
+// Detect fans the jobs over the pool and returns results in job order.
+func (f *Fleet) Detect(jobs []Job) ([]*DetectionResult, error) {
+	out := make([]*DetectionResult, len(jobs))
+	err := f.Run(len(jobs), func(i int) error {
+		res, err := RunDetection(jobs[i].Dep, jobs[i].Config, jobs[i].Attack, jobs[i].Instr)
+		if err != nil {
+			return fmt.Errorf("core: fleet job %d (%s): %w", i, jobs[i].Dep.Profile.Name, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"rtad/internal/attack"
 	"rtad/internal/axi"
 	"rtad/internal/cpu"
 	"rtad/internal/gpu"
@@ -249,55 +248,50 @@ type DetectionResult struct {
 	Judged  int
 	Dropped int64
 	MaxOcc  int
+
+	// Stages is the end-of-run snapshot of the trace-delivery chain
+	// (ptm/tpiu/igm/mcm), each stage reporting the uniform Len/MaxDepth/
+	// Overflows triple.
+	Stages []StageSnapshot
+}
+
+// withDefaults resolves the experiment defaults for a run of instr
+// instructions.
+func (a AttackSpec) withDefaults(instr int64) AttackSpec {
+	if a.BurstLen <= 0 {
+		// Long enough that several input vectors land fully inside the
+		// attack even at the widest stride (~1 ms of hijacked execution).
+		a.BurstLen = 32768
+	}
+	if a.TriggerBranch <= 0 {
+		// Early enough that even branch-sparse benchmarks reach the
+		// trigger and leave room for post-attack judgments.
+		a.TriggerBranch = instr / 40
+	}
+	return a
 }
 
 // RunDetection trains nothing: it takes an existing deployment, runs the
-// victim with the attack injected, and measures the judgment latency.
+// victim with the attack injected, and measures the judgment latency. It is
+// a thin wrapper over a single streaming Session run to completion.
 func RunDetection(dep *Deployment, pcfg PipelineConfig, aspec AttackSpec, instr int64) (*DetectionResult, error) {
-	prog, err := dep.Profile.Generate()
+	s, err := NewSession(dep, pcfg)
 	if err != nil {
 		return nil, err
 	}
-	pipe, err := NewPipeline(dep, pcfg)
-	if err != nil {
+	if err := s.Inject(aspec.withDefaults(instr)); err != nil {
 		return nil, err
 	}
-	if aspec.BurstLen <= 0 {
-		// Long enough that several input vectors land fully inside the
-		// attack even at the widest stride (~1 ms of hijacked execution).
-		aspec.BurstLen = 32768
-	}
-	if aspec.TriggerBranch <= 0 {
-		// Early enough that even branch-sparse benchmarks reach the
-		// trigger and leave room for post-attack judgments.
-		aspec.TriggerBranch = instr / 40
-	}
-	inj, err := attack.New(attack.Config{
-		TriggerBranch: aspec.TriggerBranch,
-		BurstLen:      aspec.BurstLen,
-		Pool:          dep.Pool,
-		// Default: independently sampled legitimate events — the paper's
-		// "randomly inserting legitimate branch data in normal traces".
-		// Mimicry switches to contiguous segment replay.
-		Segment: aspec.Mimicry,
-		Seed:    aspec.Seed,
-	}, pipe)
-	if err != nil {
+	if _, err := s.Step(instr); err != nil {
 		return nil, err
 	}
-	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: inj})
-	if _, err := c.Run(instr); err != nil {
+	if err := s.Drain(); err != nil {
 		return nil, err
 	}
-	pipe.Flush(sim.CPUClock.Duration(c.Cycles()))
-	if err := pipe.Err(); err != nil {
-		return nil, err
-	}
-	if !inj.Fired() {
+	if !s.AttackFired() {
 		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
 	}
-
-	res, err := summarise(dep, pipe, pcfg.withDefaults(dep.Kind), sim.CPUClock.Duration(inj.InjectedAtCycle))
+	res, err := s.Summary()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w (all post-injection vectors dropped?)", err)
 	}

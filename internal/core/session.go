@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+
+	"rtad/internal/attack"
+	"rtad/internal/axi"
+	"rtad/internal/cpu"
+	"rtad/internal/mcm"
+	"rtad/internal/sim"
+)
+
+// Session is a streaming detection run: one victim CPU driving one or more
+// model pipelines, advanced incrementally. Where RunDetection executes a
+// whole experiment to completion, a session lets the caller interleave
+// execution with observation — run a few hundred thousand instructions,
+// consume the judgments produced so far, arm an attack mid-run, inspect
+// stage queues, repeat — while producing *bit-identical* event streams to
+// the batch path (the CPU, trace chain and MCM models are untouched; the
+// session only changes who calls them and when).
+//
+// Each session owns a private deterministic sim.Scheduler that delivers
+// completed judgments in time order, and shares nothing mutable with other
+// sessions: a trained Deployment is read-only during inference, so any
+// number of sessions may run concurrently over one deployment (see Fleet).
+// A session itself is not goroutine-safe — one timeline, one goroutine.
+type Session struct {
+	sched *sim.Scheduler
+	cpu   *cpu.CPU
+	swap  *swapSink
+	fan   *fanSink
+	lanes []*lane
+	// pool is the legitimate-event reservoir Inject draws from (the lone
+	// deployment's pool, or the LSTM's for dual sessions, matching
+	// RunDualDetection).
+	pool []cpu.BranchEvent
+	inj  *attack.Injector
+	// shared is the engine token multiplexing the lanes' MCMs on one
+	// ML-MIAOW (nil for single-lane sessions).
+	shared  *mcm.SharedEngine
+	stepped int64
+	drained bool
+	err     error
+}
+
+// lane is one model's view of the shared victim: its pipeline plus the
+// judgments delivered to — but not yet consumed by — the caller.
+type lane struct {
+	dep     *Deployment
+	pipe    *Pipeline
+	cfg     PipelineConfig // defaults resolved
+	pending []Judged
+	// delivered counts pipeline judgments already scheduled for delivery.
+	delivered int
+}
+
+// swapSink is the replaceable head of the CPU's sink chain. cpu.Config.Sink
+// is fixed at construction, so arming an attack mid-run (Inject) swaps the
+// downstream here instead of rebuilding the core.
+type swapSink struct {
+	next cpu.Sink
+}
+
+func (s *swapSink) BranchRetired(ev cpu.BranchEvent) int64 {
+	return s.next.BranchRetired(ev)
+}
+
+// fanSink fans one retired-branch stream out to every lane's pipeline, in
+// lane order, and stalls the CPU by the slowest lane's backpressure — the
+// generalisation of the old two-model dualSink.
+type fanSink struct {
+	pipes []*Pipeline
+}
+
+func (f *fanSink) BranchRetired(ev cpu.BranchEvent) int64 {
+	var max int64
+	for _, p := range f.pipes {
+		if s := p.BranchRetired(ev); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NewSession builds a single-model streaming session over dep.
+func NewSession(dep *Deployment, cfg PipelineConfig) (*Session, error) {
+	prog, err := dep.Profile.Generate()
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := NewPipeline(dep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		sched: sim.NewScheduler(),
+		fan:   &fanSink{pipes: []*Pipeline{pipe}},
+		lanes: []*lane{{dep: dep, pipe: pipe, cfg: cfg.withDefaults(dep.Kind)}},
+		pool:  dep.Pool,
+	}
+	s.swap = &swapSink{next: s.fan}
+	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
+	return s, nil
+}
+
+// NewDualSession deploys both models on one MLPU against one victim: each
+// lane has its own IGM context, and the two MCM front-ends time-multiplex
+// one compute engine over one interconnect. Lane 0 is the ELM, lane 1 the
+// LSTM.
+func NewDualSession(elmDep, lstmDep *Deployment, cfg PipelineConfig) (*Session, error) {
+	if elmDep.Kind != ModelELM || lstmDep.Kind != ModelLSTM {
+		return nil, fmt.Errorf("core: RunDualDetection needs one ELM and one LSTM deployment")
+	}
+	if elmDep.Profile.Name != lstmDep.Profile.Name {
+		return nil, fmt.Errorf("core: deployments monitor different benchmarks (%s vs %s)",
+			elmDep.Profile.Name, lstmDep.Profile.Name)
+	}
+	prog, err := elmDep.Profile.Generate()
+	if err != nil {
+		return nil, err
+	}
+	bus, err := axi.RTADTopology()
+	if err != nil {
+		return nil, err
+	}
+	shared := mcm.NewSharedEngine()
+
+	elmCfg := cfg.withDefaults(ModelELM)
+	elmCfg.SharedEngine, elmCfg.Bus = shared, bus
+	lstmCfg := cfg.withDefaults(ModelLSTM)
+	lstmCfg.SharedEngine, lstmCfg.Bus = shared, bus
+	elmPipe, err := NewPipeline(elmDep, elmCfg)
+	if err != nil {
+		return nil, err
+	}
+	lstmPipe, err := NewPipeline(lstmDep, lstmCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		sched: sim.NewScheduler(),
+		fan:   &fanSink{pipes: []*Pipeline{elmPipe, lstmPipe}},
+		lanes: []*lane{
+			{dep: elmDep, pipe: elmPipe, cfg: elmCfg},
+			{dep: lstmDep, pipe: lstmPipe, cfg: lstmCfg},
+		},
+		pool:   lstmDep.Pool,
+		shared: shared,
+	}
+	s.swap = &swapSink{next: s.fan}
+	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
+	return s, nil
+}
+
+// Inject arms the attack. Called before the first Step it reproduces the
+// batch experiments exactly; called mid-run it models an attacker striking
+// partway through the monitored window (TriggerBranch then counts victim
+// taken transfers from the arming point, and 0 fires on the very next one).
+// BurstLen must be positive — the instruction budget isn't known here, so
+// no defaulting happens; RunDetection applies the classic defaults.
+func (s *Session) Inject(spec AttackSpec) error {
+	if s.inj != nil {
+		return fmt.Errorf("core: session already has an armed attack")
+	}
+	if s.drained {
+		return fmt.Errorf("core: session already drained")
+	}
+	inj, err := attack.New(attack.Config{
+		TriggerBranch: spec.TriggerBranch,
+		BurstLen:      spec.BurstLen,
+		Pool:          s.pool,
+		// Default: independently sampled legitimate events — the paper's
+		// "randomly inserting legitimate branch data in normal traces".
+		// Mimicry switches to contiguous segment replay.
+		Segment: spec.Mimicry,
+		Seed:    spec.Seed,
+	}, s.swap.next)
+	if err != nil {
+		return err
+	}
+	s.swap.next = inj
+	s.inj = inj
+	return nil
+}
+
+// Step runs the victim for up to maxInstr further instructions (stopping
+// early at HALT), then delivers every judgment completed so far. It returns
+// the number of instructions retired during this call.
+func (s *Session) Step(maxInstr int64) (int64, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.drained {
+		return 0, fmt.Errorf("core: session already drained")
+	}
+	n, err := s.cpu.Run(maxInstr)
+	s.stepped += n
+	if err != nil {
+		s.err = err
+		return n, err
+	}
+	s.deliver()
+	return n, s.err
+}
+
+// Drain ends the run: residual trace data is flushed through every lane at
+// the victim's final cycle (matching the batch paths' end-of-window flush)
+// and the last judgments are delivered. Idempotent.
+func (s *Session) Drain() error {
+	if s.drained || s.err != nil {
+		return s.err
+	}
+	end := sim.CPUClock.Duration(s.cpu.Cycles())
+	for _, ln := range s.lanes {
+		ln.pipe.Flush(end)
+	}
+	s.deliver()
+	s.drained = true
+	return s.err
+}
+
+// deliver schedules each lane's newly judged vectors on the session
+// scheduler at their judgment-ready times and runs it, moving them into the
+// lanes' pending queues in deterministic time order. Judgment Done times are
+// monotone per engine, so the clamp to Now only guards the cross-lane case
+// where one lane's inference tail has already advanced the timeline.
+func (s *Session) deliver() {
+	for _, ln := range s.lanes {
+		ln := ln
+		judged := ln.pipe.Judged()
+		for i := ln.delivered; i < len(judged); i++ {
+			j := judged[i]
+			at := j.Rec.Done
+			if now := s.sched.Now(); at < now {
+				at = now
+			}
+			s.sched.At(at, func() {
+				ln.pending = append(ln.pending, j)
+			})
+		}
+		ln.delivered = len(judged)
+		if err := ln.pipe.Err(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	s.sched.Run()
+}
+
+// Results returns and clears lane 0's delivered-but-unconsumed judgments —
+// the streaming read for single-model sessions.
+func (s *Session) Results() []Judged { return s.LaneResults(0) }
+
+// LaneResults returns and clears lane i's delivered judgments.
+func (s *Session) LaneResults(i int) []Judged {
+	out := s.lanes[i].pending
+	s.lanes[i].pending = nil
+	return out
+}
+
+// Summary builds lane 0's DetectionResult (requires a drained session with
+// a fired attack). It is unaffected by streaming consumption via Results.
+func (s *Session) Summary() (*DetectionResult, error) { return s.LaneSummary(0) }
+
+// LaneSummary builds lane i's DetectionResult.
+func (s *Session) LaneSummary(i int) (*DetectionResult, error) {
+	if !s.drained {
+		return nil, fmt.Errorf("core: session not drained")
+	}
+	if s.inj == nil || !s.inj.Fired() {
+		return nil, fmt.Errorf("core: attack never fired")
+	}
+	ln := s.lanes[i]
+	return summarise(ln.dep, ln.pipe, ln.cfg, sim.CPUClock.Duration(s.inj.InjectedAtCycle))
+}
+
+// Lanes reports the model-lane count (1, or 2 for dual sessions).
+func (s *Session) Lanes() int { return len(s.lanes) }
+
+// Stages snapshots lane 0's trace-delivery chain.
+func (s *Session) Stages() []StageSnapshot { return s.LaneStages(0) }
+
+// LaneStages snapshots lane i's trace-delivery chain.
+func (s *Session) LaneStages(i int) []StageSnapshot {
+	return SnapshotStages(s.lanes[i].pipe.Stages())
+}
+
+// Now is the session scheduler's time: the ready time of the latest
+// delivered judgment (which can run past the victim's last cycle while the
+// inference tail completes).
+func (s *Session) Now() sim.Time { return s.sched.Now() }
+
+// Scheduler exposes the session's private event scheduler, for callers
+// that want to co-schedule their own observation events.
+func (s *Session) Scheduler() *sim.Scheduler { return s.sched }
+
+// Cycles is the victim CPU's elapsed cycle count.
+func (s *Session) Cycles() int64 { return s.cpu.Cycles() }
+
+// Instret is the victim's retired-instruction count.
+func (s *Session) Instret() int64 { return s.cpu.Instret() }
+
+// Halted reports whether the victim hit HALT.
+func (s *Session) Halted() bool { return s.cpu.Halted() }
+
+// AttackFired reports whether an armed attack has triggered.
+func (s *Session) AttackFired() bool { return s.inj != nil && s.inj.Fired() }
+
+// InjectTime is when the first burst event hit the stream (zero before the
+// attack fires).
+func (s *Session) InjectTime() sim.Time {
+	if !s.AttackFired() {
+		return 0
+	}
+	return sim.CPUClock.Duration(s.inj.InjectedAtCycle)
+}
+
+// SharedBusyAt reports the multiplexed engine's busy horizon for dual
+// sessions (zero for single-lane sessions).
+func (s *Session) SharedBusyAt() sim.Time {
+	if s.shared == nil {
+		return 0
+	}
+	return s.shared.FreeAt()
+}
+
+// Err returns the first session error, if any.
+func (s *Session) Err() error { return s.err }

@@ -35,7 +35,14 @@ type Options struct {
 	// TrainELMInstr / TrainLSTMInstr override the training budgets.
 	TrainELMInstr  int64
 	TrainLSTMInstr int64
+	// Workers sizes the session fleet the grid experiments (Fig 6, Fig 8)
+	// fan out over; <= 0 uses one worker per available CPU. Results are
+	// bit-identical at any width — each cell is an independent session.
+	Workers int
 }
+
+// fleet builds the run fleet for the configured width.
+func (o Options) fleet() *core.Fleet { return core.NewFleet(o.Workers) }
 
 func (o Options) profiles() ([]workload.Profile, error) {
 	if len(o.Benchmarks) == 0 {
@@ -165,21 +172,35 @@ func Fig6(o Options) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig6Result{Geomean: map[cpu.Mode]float64{}}
-	logsum := map[cpu.Mode]float64{}
-	for _, p := range profiles {
+	// One fleet job per benchmark: each job measures all four collection
+	// modes for its profile. Rows land at their profile's index, so output
+	// order — and, below, floating-point accumulation order — is identical
+	// to a serial run at any worker count.
+	rows := make([]Fig6Row, len(profiles))
+	err = o.fleet().Run(len(profiles), func(i int) error {
+		p := profiles[i]
 		row := Fig6Row{Benchmark: p.Name, Overhead: map[cpu.Mode]float64{}}
 		for _, mode := range Fig6Modes {
 			m, err := core.MeasureOverhead(p, mode, o.OverheadInstr)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Overhead[mode] = m.Overhead
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Rows: rows, Geomean: map[cpu.Mode]float64{}}
+	logsum := map[cpu.Mode]float64{}
+	for _, row := range rows {
+		for _, mode := range Fig6Modes {
 			// Geomean over slowdown factors (1+overhead), as the paper's
 			// "geometric mean" of normalized execution times.
-			logsum[mode] += math.Log1p(m.Overhead)
+			logsum[mode] += math.Log1p(row.Overhead[mode])
 		}
-		res.Rows = append(res.Rows, row)
 	}
 	for _, mode := range Fig6Modes {
 		res.Geomean[mode] = math.Expm1(logsum[mode] / float64(len(profiles)))
@@ -292,56 +313,74 @@ func Fig8(o Options) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig8Result{}
-	var speedups []float64
+	// The benchmark × model grid in kind-major order, one fleet job per
+	// cell. Each job trains its own deployment and runs both engine
+	// configurations through independent sessions, so cells share nothing
+	// and the grid parallelises freely; rows land at their cell's index,
+	// keeping output and mean-speedup accumulation order identical to a
+	// serial run.
+	type cell struct {
+		kind core.ModelKind
+		p    workload.Profile
+	}
+	var cells []cell
 	for _, kind := range []core.ModelKind{core.ModelELM, core.ModelLSTM} {
 		for _, p := range profiles {
-			cfg := core.DefaultTrainConfig(p, kind)
-			if kind == core.ModelELM && o.TrainELMInstr > 0 {
-				cfg.TrainInstr = o.TrainELMInstr
-			}
-			if kind == core.ModelLSTM && o.TrainLSTMInstr > 0 {
-				cfg.TrainInstr = o.TrainLSTMInstr
-			}
-			dep, err := core.Train(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/%v: %w", p.Name, kind, err)
-			}
-			aspec := core.AttackSpec{Seed: p.Seed}
-			detInstr := o.DetectInstr
-			if kind == core.ModelELM {
-				// Syscall windows are sparse; give the run room for
-				// several post-injection judgments.
-				detInstr *= 2
-			}
-			m1, err := core.RunDetection(dep, core.PipelineConfig{CUs: 1}, aspec, detInstr)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/%v MIAOW: %w", p.Name, kind, err)
-			}
-			m5, err := core.RunDetection(dep, core.PipelineConfig{CUs: 5}, aspec, detInstr)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/%v ML-MIAOW: %w", p.Name, kind, err)
-			}
-			row := Fig8Row{
-				Benchmark: p.Name, Kind: kind,
-				MIAOW: m1.Latency, MLMIAOW: m5.Latency,
-				Speedup:  float64(m1.Latency) / float64(m5.Latency),
-				DroppedM: m1.Dropped, DroppedML: m5.Dropped,
-				Detected: m5.Detected,
-			}
-			speedups = append(speedups, row.Speedup)
-			if kind == core.ModelELM {
-				res.ELM = append(res.ELM, row)
-			} else {
-				res.LSTM = append(res.LSTM, row)
-			}
+			cells = append(cells, cell{kind: kind, p: p})
 		}
 	}
-	var sum float64
-	for _, s := range speedups {
-		sum += s
+	rows := make([]Fig8Row, len(cells))
+	err = o.fleet().Run(len(cells), func(i int) error {
+		kind, p := cells[i].kind, cells[i].p
+		cfg := core.DefaultTrainConfig(p, kind)
+		if kind == core.ModelELM && o.TrainELMInstr > 0 {
+			cfg.TrainInstr = o.TrainELMInstr
+		}
+		if kind == core.ModelLSTM && o.TrainLSTMInstr > 0 {
+			cfg.TrainInstr = o.TrainLSTMInstr
+		}
+		dep, err := core.Train(cfg)
+		if err != nil {
+			return fmt.Errorf("fig8 %s/%v: %w", p.Name, kind, err)
+		}
+		aspec := core.AttackSpec{Seed: p.Seed}
+		detInstr := o.DetectInstr
+		if kind == core.ModelELM {
+			// Syscall windows are sparse; give the run room for
+			// several post-injection judgments.
+			detInstr *= 2
+		}
+		m1, err := core.RunDetection(dep, core.PipelineConfig{CUs: 1}, aspec, detInstr)
+		if err != nil {
+			return fmt.Errorf("fig8 %s/%v MIAOW: %w", p.Name, kind, err)
+		}
+		m5, err := core.RunDetection(dep, core.PipelineConfig{CUs: 5}, aspec, detInstr)
+		if err != nil {
+			return fmt.Errorf("fig8 %s/%v ML-MIAOW: %w", p.Name, kind, err)
+		}
+		rows[i] = Fig8Row{
+			Benchmark: p.Name, Kind: kind,
+			MIAOW: m1.Latency, MLMIAOW: m5.Latency,
+			Speedup:  float64(m1.Latency) / float64(m5.Latency),
+			DroppedM: m1.Dropped, DroppedML: m5.Dropped,
+			Detected: m5.Detected,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.MeanSpeedup = sum / float64(len(speedups))
+	res := &Fig8Result{}
+	var sum float64
+	for _, row := range rows {
+		sum += row.Speedup
+		if row.Kind == core.ModelELM {
+			res.ELM = append(res.ELM, row)
+		} else {
+			res.LSTM = append(res.LSTM, row)
+		}
+	}
+	res.MeanSpeedup = sum / float64(len(rows))
 	return res, nil
 }
 

@@ -125,6 +125,7 @@ type IGM struct {
 	dec       *ptm.StreamDecoder
 	win       []int32
 	out       []Vector
+	maxOut    int
 	seq       int64
 	sinceEmit int
 	// serFreeAt is when the P2S serialiser frees up: decoded addresses
@@ -227,6 +228,19 @@ func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
 	g.seq++
 	g.stats.Vectors++
 	g.out = append(g.out, vec)
+	if len(g.out) > g.maxOut {
+		g.maxOut = len(g.out)
+	}
+}
+
+// StageName identifies the IGM in pipeline stage listings.
+func (g *IGM) StageName() string { return "igm" }
+
+// QueueStats reports the emitted-but-unconsumed vector queue as a uniform
+// snapshot. The IGM never drops vectors (the mapper *filters* addresses,
+// which is selection, not overflow), so Overflows is always 0.
+func (g *IGM) QueueStats() sim.QueueStats {
+	return sim.QueueStats{Len: len(g.out), MaxDepth: g.maxOut}
 }
 
 // Take returns and clears the emitted vectors.

@@ -127,9 +127,10 @@ type MCM struct {
 	freeAt sim.Time // engine pipeline free time
 	// starts holds the service-start times of accepted-but-not-started
 	// vectors, to compute FIFO occupancy at each arrival.
-	starts []sim.Time
-	stats  Stats
-	state  State
+	starts      []sim.Time
+	lastArrival sim.Time
+	stats       Stats
+	state       State
 }
 
 // New returns an MCM with cfg applied.
@@ -162,6 +163,20 @@ func (m *MCM) State() State { return m.state }
 // Stats returns the aggregate counters.
 func (m *MCM) Stats() Stats { return m.stats }
 
+// StageName identifies the MCM in pipeline stage listings.
+func (m *MCM) StageName() string { return "mcm" }
+
+// QueueStats reports the vector FIFO as a uniform queue snapshot: occupancy
+// as of the last vector arrival (the FIFO timeline is computed analytically),
+// the high-water mark, and vectors lost to overflow — the Fig 8 loss mode.
+func (m *MCM) QueueStats() sim.QueueStats {
+	return sim.QueueStats{
+		Len:       m.occupancyAt(m.lastArrival),
+		MaxDepth:  m.stats.MaxOccupancy,
+		Overflows: m.stats.Dropped,
+	}
+}
+
 // occupancyAt counts vectors still waiting in the FIFO at time t.
 func (m *MCM) occupancyAt(t sim.Time) int {
 	n := 0
@@ -183,6 +198,7 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 			len(v.Classes), m.cfg.Engine.Window())
 	}
 	// FIFO admission.
+	m.lastArrival = v.At
 	occ := m.occupancyAt(v.At)
 	if occ >= m.cfg.FIFODepth {
 		m.stats.Dropped++

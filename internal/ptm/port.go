@@ -79,6 +79,15 @@ func NewPort(cfg PortConfig) *Port {
 // Occupancy returns bytes currently held back by the formatter.
 func (p *Port) Occupancy() int { return len(p.buf) }
 
+// StageName identifies the port in pipeline stage listings.
+func (p *Port) StageName() string { return "ptm" }
+
+// QueueStats reports the hold-back buffer as a uniform queue snapshot. The
+// port applies backpressure instead of dropping, so Overflows is always 0.
+func (p *Port) QueueStats() sim.QueueStats {
+	return sim.QueueStats{Len: len(p.buf), MaxDepth: p.maxOccupy}
+}
+
 // MaxOccupancy returns the high-water mark of the hold-back buffer.
 func (p *Port) MaxOccupancy() int { return p.maxOccupy }
 

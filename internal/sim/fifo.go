@@ -87,6 +87,22 @@ func (f *FIFO[T]) Pops() int64 { return f.pops }
 // for sizing studies and the FIFO-pressure analysis behind Fig 8.
 func (f *FIFO[T]) MaxDepth() int { return f.maxDepth }
 
+// QueueStats is the uniform occupancy/loss snapshot every buffering stage of
+// the trace-delivery chain exposes: current depth, high-water mark, and
+// elements lost to overflow. It is the statistics triple a FIFO keeps
+// natively; stages that model their buffer analytically construct the same
+// triple from their own counters.
+type QueueStats struct {
+	Len       int
+	MaxDepth  int
+	Overflows int64
+}
+
+// QueueStats returns the FIFO's occupancy/loss snapshot.
+func (f *FIFO[T]) QueueStats() QueueStats {
+	return QueueStats{Len: f.size, MaxDepth: f.maxDepth, Overflows: f.overflows}
+}
+
 // Reset empties the FIFO and clears all statistics.
 func (f *FIFO[T]) Reset() {
 	var zero T

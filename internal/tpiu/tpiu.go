@@ -50,6 +50,7 @@ type Formatter struct {
 	out    []TimedWord
 
 	frames int64
+	maxBuf int
 }
 
 // NewFormatter returns a formatter with cfg applied.
@@ -69,9 +70,21 @@ func (f *Formatter) Frames() int64 { return f.frames }
 // Buffered reports bytes waiting for a frame boundary.
 func (f *Formatter) Buffered() int { return len(f.buf) }
 
+// StageName identifies the formatter in pipeline stage listings.
+func (f *Formatter) StageName() string { return "tpiu" }
+
+// QueueStats reports the frame-assembly buffer as a uniform queue snapshot.
+// Framing never drops trace bytes, so Overflows is always 0.
+func (f *Formatter) QueueStats() sim.QueueStats {
+	return sim.QueueStats{Len: len(f.buf), MaxDepth: f.maxBuf}
+}
+
 // Push adds one trace byte arriving at time at.
 func (f *Formatter) Push(at sim.Time, b byte) {
 	f.buf = append(f.buf, b)
+	if len(f.buf) > f.maxBuf {
+		f.maxBuf = len(f.buf)
+	}
 	if at > f.bufAt {
 		f.bufAt = at
 	}
