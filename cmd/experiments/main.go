@@ -11,7 +11,10 @@
 // The grid experiments (Fig 6, Fig 8) fan their benchmark × model cells
 // over a session fleet sized by -workers; results are bit-identical at any
 // width. -json additionally writes every computed result as one
-// machine-readable document.
+// machine-readable document. -metrics collects a telemetry registry across
+// the grid runs (merged serially in cell order, so aggregates are
+// bit-identical at any -workers) and embeds its snapshot in the JSON report;
+// -metrics-addr additionally serves it live as Prometheus text with pprof.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"rtad/internal/experiments"
+	"rtad/internal/obs"
 )
 
 func main() {
@@ -40,6 +44,8 @@ func main() {
 		fig7Bench  = flag.String("fig7bench", "401.bzip2", "benchmark for Fig 7")
 		workers    = flag.Int("workers", 0, "fleet width for the grid experiments (0 = one per CPU)")
 		jsonPath   = flag.String("json", "", "also write results as JSON to this path")
+		metrics    = flag.Bool("metrics", false, "collect telemetry metrics and embed the snapshot in the JSON report")
+		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof live on this address (implies -metrics)")
 	)
 	flag.Parse()
 
@@ -50,6 +56,21 @@ func main() {
 	if !(*all || *table1 || *table2 || *fig6 || *fig7 || *fig8) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var tel *obs.Telemetry
+	if *metrics || *metricsAdr != "" {
+		tel = obs.NewMetricsOnly()
+		opts.Telemetry = tel
+	}
+	if *metricsAdr != "" {
+		srv, err := obs.Serve(*metricsAdr, tel.Reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics at http://%s/metrics\n", srv.Addr())
 	}
 
 	report := experiments.NewReport(opts)
@@ -105,6 +126,9 @@ func main() {
 		return res, err
 	})
 
+	if tel != nil {
+		report.Metrics = tel.Reg.Snapshot()
+	}
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -7,14 +7,23 @@
 //
 //	rtadsim -bench omnetpp -model lstm -cus 5
 //	rtadsim -bench perlbench -model elm -cus 1 -instr 6000000
+//	rtadsim -bench sjeng -trace trace.json -metrics-addr 127.0.0.1:8080
+//
+// -trace records the run as Chrome/Perfetto trace_event JSON (open it at
+// ui.perfetto.dev) with one track per pipeline stage; -metrics-addr serves
+// the live metrics registry as Prometheus text plus net/http/pprof for the
+// duration of the run. Both are observation-only: the simulated timeline is
+// bit-identical with or without them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rtad/internal/core"
+	"rtad/internal/obs"
 	"rtad/internal/workload"
 )
 
@@ -29,8 +38,29 @@ func main() {
 		mimic = flag.Bool("mimicry", false, "replay a contiguous legitimate segment (harder to detect)")
 		save  = flag.String("save", "", "save the trained deployment to this file")
 		load  = flag.String("load", "", "load a previously saved deployment instead of training")
+
+		tracePath  = flag.String("trace", "", "write a Perfetto trace_event JSON of the detection run to this file")
+		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof live on this address")
+		hold       = flag.Duration("hold", 0, "keep the metrics server up this long after the run (for scrapers)")
 	)
 	flag.Parse()
+
+	var tel *obs.Telemetry
+	switch {
+	case *tracePath != "":
+		tel = obs.New()
+	case *metricsAdr != "":
+		tel = obs.NewMetricsOnly()
+	}
+	if *metricsAdr != "" {
+		srv, err := obs.Serve(*metricsAdr, tel.Reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics at http://%s/metrics\n", srv.Addr())
+	}
 
 	p, ok := workload.ByName(*bench)
 	if !ok {
@@ -84,7 +114,7 @@ func main() {
 		detInstr = 6_000_000 // syscall windows are sparse
 	}
 	fmt.Printf("running detection (%d instructions, %d CUs, burst %d)...\n", detInstr, *cus, *burst)
-	res, err := core.RunDetection(dep, core.PipelineConfig{CUs: *cus},
+	res, err := core.RunDetection(dep, core.PipelineConfig{CUs: *cus, Telemetry: tel},
 		core.AttackSpec{BurstLen: *burst, Seed: *seed, Mimicry: *mimic}, detInstr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,8 +134,30 @@ func main() {
 		res.Judged, res.Dropped, res.MaxOcc)
 	fmt.Printf("stage queues (end of run):\n")
 	for _, st := range res.Stages {
-		fmt.Printf("  %-5s len %4d  max depth %4d  overflows %d\n",
-			st.Name, st.Len, st.MaxDepth, st.Overflows)
+		fmt.Printf("  %-5s len %4d  max depth %4d  accepted %8d  dropped %d (loss %.3f%%)\n",
+			st.Name, st.Len, st.MaxDepth, st.Accepted, st.Dropped, 100*st.LossRate())
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tel.Tracer.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events (%d tracks, %d dropped) to %s — open at ui.perfetto.dev\n",
+			tel.Tracer.Events(), len(tel.Tracer.TrackNames()), tel.Tracer.Dropped(), *tracePath)
+	}
+	if *metricsAdr != "" && *hold > 0 {
+		fmt.Printf("holding metrics server for %v...\n", *hold)
+		time.Sleep(*hold)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"rtad/internal/obs"
 )
 
 // Fleet runs independent detection sessions concurrently. Each session owns
@@ -13,6 +15,7 @@ import (
 // and the -race fleet test enforces).
 type Fleet struct {
 	workers int
+	tel     *obs.Telemetry
 }
 
 // NewFleet returns a fleet of the given width; workers <= 0 sizes it to
@@ -26,6 +29,14 @@ func NewFleet(workers int) *Fleet {
 
 // Workers reports the pool width.
 func (f *Fleet) Workers() int { return f.workers }
+
+// Observe attaches a telemetry bundle to the fleet. Detect then gives each
+// job a private metrics-only registry and merges them into tel's registry
+// serially in job order after the pool drains — counter and histogram totals
+// are therefore bit-identical at any worker count. Per-job traces are not
+// recorded (concurrent sessions would interleave one tracer); use a
+// single-session run for tracing.
+func (f *Fleet) Observe(tel *obs.Telemetry) { f.tel = tel }
 
 // Run executes fn(0..n-1) across the worker pool and returns the
 // lowest-index error (every index runs regardless of other indices'
@@ -73,17 +84,44 @@ type Job struct {
 	Instr  int64
 }
 
-// Detect fans the jobs over the pool and returns results in job order.
+// Detect fans the jobs over the pool and returns results in job order. With
+// an Observe'd telemetry bundle, every job records into its own registry;
+// the registries are merged into the bundle serially in job order once the
+// pool drains, so the aggregate is independent of scheduling.
 func (f *Fleet) Detect(jobs []Job) ([]*DetectionResult, error) {
 	out := make([]*DetectionResult, len(jobs))
+	var regs []*obs.Registry
+	observed := f.tel != nil && f.tel.Reg != nil
+	if observed {
+		regs = make([]*obs.Registry, len(jobs))
+	}
+	jobsDone := f.tel.Counter("rtad_fleet_jobs_done_total")
+	jobsFailed := f.tel.Counter("rtad_fleet_jobs_failed_total")
+	f.tel.Gauge("rtad_fleet_workers").Set(int64(f.workers))
+	f.tel.Gauge("rtad_fleet_jobs").Set(int64(len(jobs)))
 	err := f.Run(len(jobs), func(i int) error {
-		res, err := RunDetection(jobs[i].Dep, jobs[i].Config, jobs[i].Attack, jobs[i].Instr)
+		cfg := jobs[i].Config
+		if observed && cfg.Telemetry == nil {
+			jt := obs.NewMetricsOnly()
+			regs[i] = jt.Reg
+			cfg.Telemetry = jt
+		}
+		res, err := RunDetection(jobs[i].Dep, cfg, jobs[i].Attack, jobs[i].Instr)
 		if err != nil {
+			jobsFailed.Inc()
 			return fmt.Errorf("core: fleet job %d (%s): %w", i, jobs[i].Dep.Profile.Name, err)
 		}
+		jobsDone.Inc()
 		out[i] = res
 		return nil
 	})
+	if observed {
+		for _, r := range regs {
+			if r != nil {
+				f.tel.Reg.Merge(r)
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"rtad/internal/igm"
 	"rtad/internal/kernels"
 	"rtad/internal/mcm"
+	"rtad/internal/obs"
 	"rtad/internal/ptm"
 	"rtad/internal/sim"
 	"rtad/internal/tpiu"
@@ -32,6 +33,13 @@ type PipelineConfig struct {
 	// one compute engine and one switch (see RunDualDetection).
 	SharedEngine *mcm.SharedEngine
 	Bus          *axi.Interconnect
+	// Telemetry, when non-nil, threads the observability layer through
+	// every stage of this pipeline (and, via Session, the scheduler and
+	// victim CPU): stage spans and queue counters on the tracer, plus the
+	// branch-retire -> judgment latency histogram — the Fig 8 quantity.
+	// Nil (the default) keeps the whole chain a no-op and the run's
+	// outputs bit-identical to an un-instrumented build.
+	Telemetry *obs.Telemetry
 }
 
 // Default runtime strides.
@@ -93,7 +101,19 @@ type Pipeline struct {
 	acceptedRetire []sim.Time
 	judged         []Judged
 	err            error
+
+	// Judgment telemetry lives here rather than in Session.deliver so the
+	// recording order follows the instruction stream, keeping trace output
+	// invariant to how callers slice Step().
+	latHist      *obs.Histogram
+	obsJudgments *obs.Counter
+	judgTrack    *obs.Track
 }
+
+// JudgmentLatencyBuckets are the histogram bounds for the Fig 8 latency, in
+// microseconds: 0.5us .. ~4ms exponential, bracketing the paper's 4–54us
+// range with room for queueing tails.
+var JudgmentLatencyBuckets = obs.ExpBuckets(0.5, 2, 14)
 
 // NewPipeline instantiates the SoC for a deployment.
 func NewPipeline(dep *Deployment, cfg PipelineConfig) (*Pipeline, error) {
@@ -122,25 +142,34 @@ func NewPipeline(dep *Deployment, cfg PipelineConfig) (*Pipeline, error) {
 		FIFODepth: cfg.FIFODepth,
 		Bus:       cfg.Bus,
 		Shared:    cfg.SharedEngine,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	dev.Observe(cfg.Telemetry)
+	p := &Pipeline{
 		dep:    dep,
 		cfg:    cfg,
 		dev:    dev,
 		engine: engine,
 		enc:    ptm.NewEncoder(ptm.Config{BranchBroadcast: true}),
-		port:   ptm.NewPort(ptm.PortConfig{DrainThreshold: cfg.DrainThreshold}),
-		fmtr:   tpiu.NewFormatter(tpiu.Config{}),
+		port:   ptm.NewPort(ptm.PortConfig{DrainThreshold: cfg.DrainThreshold, Telemetry: cfg.Telemetry}),
+		fmtr:   tpiu.NewFormatter(tpiu.Config{Telemetry: cfg.Telemetry}),
 		ig: igm.New(igm.Config{
-			Mapper: dep.Mapper,
-			Window: dep.Window(),
-			Stride: cfg.Stride,
+			Mapper:    dep.Mapper,
+			Window:    dep.Window(),
+			Stride:    cfg.Stride,
+			Telemetry: cfg.Telemetry,
 		}),
 		mod: mod,
-	}, nil
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		p.latHist = tel.Histogram("rtad_judgment_latency_us", JudgmentLatencyBuckets)
+		p.obsJudgments = tel.Counter("rtad_judgments_total")
+		p.judgTrack = tel.Track("fabric", "judgments")
+	}
+	return p, nil
 }
 
 // BranchRetired implements cpu.Sink: it drives the whole CoreSight → IGM →
@@ -181,7 +210,16 @@ func (p *Pipeline) drain() {
 		if idx >= 0 && idx < int64(len(p.acceptedRetire)) {
 			retire = p.acceptedRetire[idx]
 		}
-		p.judged = append(p.judged, Judged{Vector: v, Rec: rec, FinalRetire: retire})
+		j := Judged{Vector: v, Rec: rec, FinalRetire: retire}
+		p.judged = append(p.judged, j)
+		p.obsJudgments.Inc()
+		latUS := float64(j.JudgmentLatency()) / float64(sim.Microsecond)
+		p.latHist.Observe(latUS)
+		if p.judgTrack != nil {
+			p.judgTrack.Instant("judgment", int64(rec.Done), map[string]any{
+				"seq": v.Seq, "latency_us": latUS, "anomaly": rec.Judgment.Anomaly,
+			})
+		}
 	}
 }
 

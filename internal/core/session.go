@@ -7,6 +7,7 @@ import (
 	"rtad/internal/axi"
 	"rtad/internal/cpu"
 	"rtad/internal/mcm"
+	"rtad/internal/obs"
 	"rtad/internal/sim"
 )
 
@@ -41,6 +42,19 @@ type Session struct {
 	stepped int64
 	drained bool
 	err     error
+
+	// Telemetry (all nil when the session is un-instrumented). Victim-CPU
+	// progress gauges are sampled at Step/Drain boundaries — they converge
+	// to the same final values however the run is sliced — while trace
+	// events are recorded only where sim times are produced, so the trace
+	// bytes are invariant to slicing.
+	tel         *obs.Telemetry
+	obsCycles   *obs.Gauge
+	obsInstret  *obs.Gauge
+	obsStall    *obs.Gauge
+	obsInstrCyc *obs.Gauge
+	attackTrack *obs.Track
+	attackNoted bool
 }
 
 // lane is one model's view of the shared victim: its pipeline plus the
@@ -100,7 +114,45 @@ func NewSession(dep *Deployment, cfg PipelineConfig) (*Session, error) {
 	}
 	s.swap = &swapSink{next: s.fan}
 	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
+	s.observe(cfg.Telemetry)
 	return s, nil
+}
+
+// observe attaches the telemetry bundle to the session-level pieces (the
+// scheduler and victim-CPU gauges). Safe with a nil bundle.
+func (s *Session) observe(tel *obs.Telemetry) {
+	s.tel = tel
+	s.sched.Observe(tel)
+	s.obsCycles = tel.Gauge("rtad_cpu_cycles")
+	s.obsInstret = tel.Gauge("rtad_cpu_instret")
+	s.obsStall = tel.Gauge("rtad_cpu_stall_cycles")
+	s.obsInstrCyc = tel.Gauge("rtad_cpu_instrumentation_cycles")
+	s.attackTrack = tel.Track("cpu", "attack")
+}
+
+// sample refreshes the progress gauges. No trace events are emitted here —
+// sampling frequency follows the caller's Step slicing, which must not
+// change the trace bytes.
+func (s *Session) sample() {
+	if s.tel == nil {
+		return
+	}
+	s.obsCycles.Set(s.cpu.Cycles())
+	s.obsInstret.Set(s.cpu.Instret())
+	s.obsStall.Set(s.cpu.StallCycles())
+	s.obsInstrCyc.Set(s.cpu.InstrumentationCycles())
+	for _, ln := range s.lanes {
+		tel := ln.cfg.Telemetry
+		if tel == nil {
+			continue
+		}
+		for _, st := range ln.pipe.Stages() {
+			qs := st.QueueStats()
+			name := "rtad_stage_" + st.StageName()
+			tel.Gauge(name + "_len").Set(int64(qs.Len))
+			tel.Gauge(name + "_max_depth").Set(int64(qs.MaxDepth))
+		}
+	}
 }
 
 // NewDualSession deploys both models on one MLPU against one victim: each
@@ -127,8 +179,10 @@ func NewDualSession(elmDep, lstmDep *Deployment, cfg PipelineConfig) (*Session, 
 
 	elmCfg := cfg.withDefaults(ModelELM)
 	elmCfg.SharedEngine, elmCfg.Bus = shared, bus
+	elmCfg.Telemetry = cfg.Telemetry.Lane("elm")
 	lstmCfg := cfg.withDefaults(ModelLSTM)
 	lstmCfg.SharedEngine, lstmCfg.Bus = shared, bus
+	lstmCfg.Telemetry = cfg.Telemetry.Lane("lstm")
 	elmPipe, err := NewPipeline(elmDep, elmCfg)
 	if err != nil {
 		return nil, err
@@ -149,6 +203,7 @@ func NewDualSession(elmDep, lstmDep *Deployment, cfg PipelineConfig) (*Session, 
 	}
 	s.swap = &swapSink{next: s.fan}
 	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
+	s.observe(cfg.Telemetry)
 	return s, nil
 }
 
@@ -180,6 +235,11 @@ func (s *Session) Inject(spec AttackSpec) error {
 	}
 	s.swap.next = inj
 	s.inj = inj
+	if s.attackTrack != nil {
+		s.attackTrack.Instant("attack_armed",
+			int64(sim.CPUClock.Duration(s.cpu.Cycles())),
+			map[string]any{"trigger_branch": spec.TriggerBranch, "burst_len": spec.BurstLen})
+	}
 	return nil
 }
 
@@ -200,6 +260,7 @@ func (s *Session) Step(maxInstr int64) (int64, error) {
 		return n, err
 	}
 	s.deliver()
+	s.sample()
 	return n, s.err
 }
 
@@ -215,6 +276,15 @@ func (s *Session) Drain() error {
 		ln.pipe.Flush(end)
 	}
 	s.deliver()
+	// The injection instant is recorded here — not at the Step that first
+	// notices the fired attack — so its position in the event stream does
+	// not depend on how the run was sliced. Its timestamp is the true
+	// injection time regardless.
+	if s.attackTrack != nil && s.AttackFired() && !s.attackNoted {
+		s.attackNoted = true
+		s.attackTrack.Instant("attack_injected", int64(s.InjectTime()), nil)
+	}
+	s.sample()
 	s.drained = true
 	return s.err
 }

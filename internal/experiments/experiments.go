@@ -17,6 +17,7 @@ import (
 	"rtad/internal/cpu"
 	"rtad/internal/gpu"
 	"rtad/internal/ml"
+	"rtad/internal/obs"
 	"rtad/internal/sim"
 	"rtad/internal/synth"
 	"rtad/internal/trim"
@@ -39,6 +40,13 @@ type Options struct {
 	// fan out over; <= 0 uses one worker per available CPU. Results are
 	// bit-identical at any width — each cell is an independent session.
 	Workers int
+	// Telemetry, when non-nil, collects metrics across the grid runs: each
+	// Fig 8 cell records into a private registry and the registries merge
+	// into Telemetry.Reg serially in cell order, so the aggregate — like the
+	// results — is bit-identical at any worker count. Nil (the default)
+	// leaves every run un-instrumented and the output byte-identical to an
+	// un-instrumented build.
+	Telemetry *obs.Telemetry
 }
 
 // fleet builds the run fleet for the configured width.
@@ -330,8 +338,17 @@ func Fig8(o Options) (*Fig8Result, error) {
 		}
 	}
 	rows := make([]Fig8Row, len(cells))
+	var regs []*obs.Registry
+	if o.Telemetry != nil && o.Telemetry.Reg != nil {
+		regs = make([]*obs.Registry, len(cells))
+	}
 	err = o.fleet().Run(len(cells), func(i int) error {
 		kind, p := cells[i].kind, cells[i].p
+		var jt *obs.Telemetry
+		if regs != nil {
+			jt = obs.NewMetricsOnly()
+			regs[i] = jt.Reg
+		}
 		cfg := core.DefaultTrainConfig(p, kind)
 		if kind == core.ModelELM && o.TrainELMInstr > 0 {
 			cfg.TrainInstr = o.TrainELMInstr
@@ -350,11 +367,11 @@ func Fig8(o Options) (*Fig8Result, error) {
 			// several post-injection judgments.
 			detInstr *= 2
 		}
-		m1, err := core.RunDetection(dep, core.PipelineConfig{CUs: 1}, aspec, detInstr)
+		m1, err := core.RunDetection(dep, core.PipelineConfig{CUs: 1, Telemetry: jt.Lane("miaow")}, aspec, detInstr)
 		if err != nil {
 			return fmt.Errorf("fig8 %s/%v MIAOW: %w", p.Name, kind, err)
 		}
-		m5, err := core.RunDetection(dep, core.PipelineConfig{CUs: 5}, aspec, detInstr)
+		m5, err := core.RunDetection(dep, core.PipelineConfig{CUs: 5, Telemetry: jt.Lane("mlmiaow")}, aspec, detInstr)
 		if err != nil {
 			return fmt.Errorf("fig8 %s/%v ML-MIAOW: %w", p.Name, kind, err)
 		}
@@ -367,6 +384,15 @@ func Fig8(o Options) (*Fig8Result, error) {
 		}
 		return nil
 	})
+	// Serial, cell-order merge: the aggregate registry is independent of how
+	// the pool interleaved the cells.
+	if regs != nil {
+		for _, r := range regs {
+			if r != nil {
+				o.Telemetry.Reg.Merge(r)
+			}
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"rtad/internal/core"
+	"rtad/internal/obs"
 	"rtad/internal/sim"
 )
 
@@ -27,6 +28,11 @@ type Report struct {
 	Fig6    *Fig6Report    `json:"fig6,omitempty"`
 	Fig7    *Fig7Report    `json:"fig7,omitempty"`
 	Fig8    *Fig8Report    `json:"fig8,omitempty"`
+
+	// Metrics is the end-of-run registry snapshot when the run was made
+	// with Options.Telemetry (cmd/experiments -metrics); absent otherwise,
+	// keeping un-instrumented reports byte-identical to older builds.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // NewReport starts a report for the given options.

@@ -1,6 +1,10 @@
 package gpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"rtad/internal/obs"
+)
 
 // Q is the fixed-point scale: values are Q16.16 (1.0 == 1<<16).
 const Q = 16
@@ -22,6 +26,22 @@ type Device struct {
 
 	coverage *CoverageSet
 	keep     *CoverageSet // non-nil: trimmed device, only these blocks exist
+
+	obsDispatches *obs.Counter
+	obsWavefronts *obs.Counter
+	obsInstrs     *obs.Counter
+	obsCycles     *obs.Counter
+}
+
+// Observe attaches telemetry counters for dispatches, wavefronts, dynamic
+// instructions and makespan cycles. A nil bundle detaches. The device has
+// no sim-time notion of its own (the MCM anchors kernel makespans on the
+// timeline), so it contributes counters, not trace spans.
+func (d *Device) Observe(tel *obs.Telemetry) {
+	d.obsDispatches = tel.Counter("rtad_gpu_dispatches_total")
+	d.obsWavefronts = tel.Counter("rtad_gpu_wavefronts_total")
+	d.obsInstrs = tel.Counter("rtad_gpu_instructions_total")
+	d.obsCycles = tel.Counter("rtad_gpu_cycles_total")
 }
 
 // DispatchOverheadCycles is the fixed cost of launching one wavefront on a
@@ -160,6 +180,10 @@ func (d *Device) Run(disp Dispatch) (*Result, error) {
 		}
 	}
 	res.Cycles = makespan
+	d.obsDispatches.Inc()
+	d.obsWavefronts.Add(int64(waves))
+	d.obsInstrs.Add(res.Instructions)
+	d.obsCycles.Add(res.Cycles)
 	return res, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"rtad/internal/cpu"
+	"rtad/internal/obs"
 	"rtad/internal/ptm"
 	"rtad/internal/sim"
 	"rtad/internal/tpiu"
@@ -107,6 +108,9 @@ type Config struct {
 	Stride int
 	// Clock is the IGM clock domain (defaults to sim.FabricClock).
 	Clock *sim.Clock
+	// Telemetry, when non-nil, records emitted vectors as instants on the
+	// fabric/igm track plus accept/filter/vector counters. Observation-only.
+	Telemetry *obs.Telemetry
 }
 
 // Pipeline latencies in IGM cycles. Decode is the TA unit latency; the
@@ -133,6 +137,11 @@ type IGM struct {
 	serFreeAt sim.Time
 
 	stats Stats
+
+	obsAccepted *obs.Counter
+	obsFiltered *obs.Counter
+	obsVectors  *obs.Counter
+	track       *obs.Track
 }
 
 // Stats counts IGM activity for the evaluation harness.
@@ -160,11 +169,18 @@ func New(cfg Config) *IGM {
 	if cfg.Clock == nil {
 		cfg.Clock = sim.FabricClock
 	}
-	return &IGM{
+	g := &IGM{
 		cfg:  cfg,
 		defr: tpiu.NewDeframer(0),
 		dec:  ptm.NewStreamDecoder(),
 	}
+	if tel := cfg.Telemetry; tel != nil {
+		g.obsAccepted = tel.Counter("rtad_igm_accepted_total")
+		g.obsFiltered = tel.Counter("rtad_igm_filtered_total")
+		g.obsVectors = tel.Counter("rtad_igm_vectors_total")
+		g.track = tel.Track("fabric", "igm")
+	}
+	return g
 }
 
 // FeedWord consumes one timed 32-bit word from the TPIU port, advancing the
@@ -204,9 +220,11 @@ func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
 	class, ok := g.cfg.Mapper.Lookup(addr)
 	if !ok {
 		g.stats.Filtered++
+		g.obsFiltered.Inc()
 		return
 	}
 	g.stats.Accepted++
+	g.obsAccepted.Inc()
 	at += g.cfg.Clock.Duration(mapperCycles + vecEncodeCycles)
 
 	g.win = append(g.win, class)
@@ -227,6 +245,10 @@ func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
 	}
 	g.seq++
 	g.stats.Vectors++
+	g.obsVectors.Inc()
+	if g.track != nil {
+		g.track.Instant("vector", int64(at), map[string]any{"seq": vec.Seq})
+	}
 	g.out = append(g.out, vec)
 	if len(g.out) > g.maxOut {
 		g.maxOut = len(g.out)
@@ -238,9 +260,10 @@ func (g *IGM) StageName() string { return "igm" }
 
 // QueueStats reports the emitted-but-unconsumed vector queue as a uniform
 // snapshot. The IGM never drops vectors (the mapper *filters* addresses,
-// which is selection, not overflow), so Overflows is always 0.
+// which is selection, not overflow), so Overflows and Dropped are 0 and
+// Accepted counts emitted vectors.
 func (g *IGM) QueueStats() sim.QueueStats {
-	return sim.QueueStats{Len: len(g.out), MaxDepth: g.maxOut}
+	return sim.QueueStats{Len: len(g.out), MaxDepth: g.maxOut, Accepted: g.stats.Vectors}
 }
 
 // Take returns and clears the emitted vectors.

@@ -15,6 +15,7 @@ import (
 	"rtad/internal/axi"
 	"rtad/internal/igm"
 	"rtad/internal/kernels"
+	"rtad/internal/obs"
 	"rtad/internal/sim"
 )
 
@@ -69,6 +70,10 @@ type Config struct {
 	// Clock is the MCM fabric domain; GPUClock the ML-MIAOW domain.
 	Clock    *sim.Clock
 	GPUClock *sim.Clock
+	// Telemetry, when non-nil, records each vector's service as a span on
+	// the fabric/mcm track (start -> judgment done), FIFO depth as a
+	// counter series, and drop/anomaly counters. Observation-only.
+	Telemetry *obs.Telemetry
 }
 
 // Microarchitectural constants in MCM fabric cycles. Data movement costs
@@ -131,6 +136,13 @@ type MCM struct {
 	lastArrival sim.Time
 	stats       Stats
 	state       State
+
+	obsAccepted  *obs.Counter
+	obsDropped   *obs.Counter
+	obsAnomalies *obs.Counter
+	obsBusyPS    *obs.Counter
+	obsOcc       *obs.Gauge
+	track        *obs.Track
 }
 
 // New returns an MCM with cfg applied.
@@ -154,7 +166,16 @@ func New(cfg Config) (*MCM, error) {
 		}
 		cfg.Bus = bus
 	}
-	return &MCM{cfg: cfg, state: WaitInput}, nil
+	m := &MCM{cfg: cfg, state: WaitInput}
+	if tel := cfg.Telemetry; tel != nil {
+		m.obsAccepted = tel.Counter("rtad_mcm_accepted_total")
+		m.obsDropped = tel.Counter("rtad_mcm_dropped_total")
+		m.obsAnomalies = tel.Counter("rtad_mcm_anomalies_total")
+		m.obsBusyPS = tel.Counter("rtad_mcm_busy_ps_total")
+		m.obsOcc = tel.Gauge("rtad_mcm_fifo_max_occupancy")
+		m.track = tel.Track("fabric", "mcm")
+	}
+	return m, nil
 }
 
 // State returns the FSM state as of the last Push (WaitInput when idle).
@@ -174,6 +195,8 @@ func (m *MCM) QueueStats() sim.QueueStats {
 		Len:       m.occupancyAt(m.lastArrival),
 		MaxDepth:  m.stats.MaxOccupancy,
 		Overflows: m.stats.Dropped,
+		Accepted:  m.stats.Accepted,
+		Dropped:   m.stats.Dropped,
 	}
 }
 
@@ -202,10 +225,17 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 	occ := m.occupancyAt(v.At)
 	if occ >= m.cfg.FIFODepth {
 		m.stats.Dropped++
+		m.obsDropped.Inc()
+		if m.track != nil {
+			m.track.Instant("drop", int64(v.At), map[string]any{"seq": v.Seq})
+		}
 		return Record{}, false, nil
 	}
 	if occ+1 > m.stats.MaxOccupancy {
 		m.stats.MaxOccupancy = occ + 1
+	}
+	if m.track != nil {
+		m.track.Counter("fifo_depth", int64(v.At), float64(occ+1))
 	}
 
 	// Protocol conversion.
@@ -260,8 +290,20 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 	if j.Anomaly {
 		rec.IRQAt = t + clk.Duration(irqCycles)
 		m.stats.Anomalies++
+		m.obsAnomalies.Inc()
+		if m.track != nil {
+			m.track.Instant("irq", int64(rec.IRQAt), map[string]any{"seq": v.Seq})
+		}
 	}
 	m.stats.Accepted++
+	m.obsAccepted.Inc()
+	m.obsBusyPS.Add(int64(t - start))
+	m.obsOcc.Max(int64(m.stats.MaxOccupancy))
+	if m.track != nil {
+		m.track.Span("infer", int64(start), int64(t), map[string]any{
+			"seq": v.Seq, "gpu_cycles": gpuCycles, "anomaly": j.Anomaly,
+		})
+	}
 	m.stats.BusyTime += t - start
 	m.freeAt = t
 	if m.cfg.Shared != nil {

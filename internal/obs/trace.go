@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Tracer records spans, instants and counter samples against simulated
+// time and exports them as Chrome trace_event JSON, the format
+// chrome://tracing and ui.perfetto.dev open directly. Timestamps are
+// simulated picoseconds (the sim.Time unit) converted to the format's
+// microseconds, so a span on the timeline reads in the same units the
+// paper's figures use.
+//
+// Tracks map onto the format's process/thread hierarchy: one process per
+// clock domain ("cpu", "fabric", "gpu", "session") and one thread per
+// pipeline stage or logical lane, which is how Perfetto renders "one track
+// per clock domain and per stage". Events are marshalled at record time so
+// export is a deterministic concatenation; equal inputs produce
+// byte-identical trace files.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []json.RawMessage
+	procs   map[string]int
+	procSeq []string
+	tracks  map[string]*Track
+	nextTID int
+	limit   int
+	dropped int64
+}
+
+// DefaultEventLimit bounds a tracer's event buffer. Beyond it, new events
+// are counted as dropped instead of recorded, so a runaway run degrades to
+// a truncated trace rather than unbounded memory.
+const DefaultEventLimit = 1 << 21
+
+// NewTracer returns an empty tracer with the default event limit.
+func NewTracer() *Tracer {
+	return &Tracer{
+		procs:   map[string]int{},
+		tracks:  map[string]*Track{},
+		limit:   DefaultEventLimit,
+		nextTID: 1,
+	}
+}
+
+// SetEventLimit replaces the event cap (values <= 0 keep the default).
+func (t *Tracer) SetEventLimit(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Dropped reports events discarded after the limit was hit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events reports the number of recorded events.
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Track is one named timeline: a (process, thread) pair in the trace_event
+// model. A nil *Track discards everything recorded on it.
+type Track struct {
+	t        *Tracer
+	pid, tid int
+}
+
+// Track returns the timeline named thread inside the process domain,
+// creating both on first use. Returns nil on a nil tracer.
+func (t *Tracer) Track(domain, thread string) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := domain + "\x00" + thread
+	if tk, ok := t.tracks[key]; ok {
+		return tk
+	}
+	pid, ok := t.procs[domain]
+	if !ok {
+		pid = len(t.procSeq) + 1
+		t.procs[domain] = pid
+		t.procSeq = append(t.procSeq, domain)
+	}
+	tk := &Track{t: t, pid: pid, tid: t.nextTID}
+	t.nextTID++
+	t.tracks[key] = tk
+	t.record(metaEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tk.tid,
+		Args: map[string]string{"name": thread}})
+	return tk
+}
+
+// ps-to-microsecond conversion for the trace_event "ts"/"dur" fields.
+func psToUS(ps int64) float64 { return float64(ps) / 1e6 }
+
+type spanEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type instantEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type counterEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	TS   float64            `json:"ts"`
+	PID  int                `json:"pid"`
+	TID  int                `json:"tid"`
+	Args map[string]float64 `json:"args"`
+}
+
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid,omitempty"`
+	Args map[string]string `json:"args"`
+}
+
+// record marshals and appends one event; caller holds t.mu.
+func (t *Tracer) record(ev any) {
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		// Unmarshalable args indicate a programming error at the recording
+		// site; drop the event rather than poisoning the export.
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, blob)
+}
+
+// Span records a complete slice [startPS, endPS] on the track. Times are
+// simulated picoseconds. No-op on a nil receiver.
+func (tk *Track) Span(name string, startPS, endPS int64, args map[string]any) {
+	if tk == nil {
+		return
+	}
+	dur := endPS - startPS
+	if dur < 0 {
+		dur = 0
+	}
+	tk.t.mu.Lock()
+	tk.t.record(spanEvent{Name: name, Ph: "X", TS: psToUS(startPS), Dur: psToUS(dur),
+		PID: tk.pid, TID: tk.tid, Args: args})
+	tk.t.mu.Unlock()
+}
+
+// Instant records a point event at atPS simulated picoseconds. No-op on a
+// nil receiver.
+func (tk *Track) Instant(name string, atPS int64, args map[string]any) {
+	if tk == nil {
+		return
+	}
+	tk.t.mu.Lock()
+	tk.t.record(instantEvent{Name: name, Ph: "i", TS: psToUS(atPS),
+		PID: tk.pid, TID: tk.tid, S: "t", Args: args})
+	tk.t.mu.Unlock()
+}
+
+// Counter records a sampled series value at atPS simulated picoseconds,
+// rendered by Perfetto as a counter track. No-op on a nil receiver.
+func (tk *Track) Counter(name string, atPS int64, value float64) {
+	if tk == nil {
+		return
+	}
+	tk.t.mu.Lock()
+	tk.t.record(counterEvent{Name: name, Ph: "C", TS: psToUS(atPS),
+		PID: tk.pid, TID: tk.tid, Args: map[string]float64{"value": value}})
+	tk.t.mu.Unlock()
+}
+
+// WriteJSON exports the trace as a JSON object with a traceEvents array.
+// Process-name metadata is emitted first (in first-use order), then every
+// recorded event in record order — equal recordings export byte-identically.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(blob []byte) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := w.Write(blob)
+		return err
+	}
+	for i, domain := range t.procSeq {
+		blob, err := json.Marshal(metaEvent{Name: "process_name", Ph: "M", PID: i + 1,
+			Args: map[string]string{"name": domain}})
+		if err != nil {
+			return err
+		}
+		if err := emit(blob); err != nil {
+			return err
+		}
+	}
+	for _, blob := range t.events {
+		if err := emit(blob); err != nil {
+			return err
+		}
+	}
+	tail := "\n]}\n"
+	if t.dropped > 0 {
+		tail = fmt.Sprintf("\n],\"otherData\":{\"droppedEvents\":\"%d\"}}\n", t.dropped)
+	}
+	_, err := io.WriteString(w, tail)
+	return err
+}
+
+// TrackNames lists every registered (domain, thread) pair sorted for
+// inspection and tests.
+func (t *Tracer) TrackNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.tracks))
+	for key := range t.tracks {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	for i, key := range out {
+		for j, c := range key {
+			if c == 0 {
+				out[i] = key[:j] + "/" + key[j+1:]
+				break
+			}
+		}
+	}
+	return out
+}

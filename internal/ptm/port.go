@@ -2,6 +2,7 @@ package ptm
 
 import (
 	"rtad/internal/cpu"
+	"rtad/internal/obs"
 	"rtad/internal/sim"
 )
 
@@ -31,6 +32,10 @@ type PortConfig struct {
 	QueueBytes int
 	// Clock is the fabric clock driving the port (defaults to sim.FabricClock).
 	Clock *sim.Clock
+	// Telemetry, when non-nil, records release bursts as spans on the
+	// fabric/ptm track and keeps byte/release counters. Observation-only:
+	// timing and output are bit-identical either way.
+	Telemetry *obs.Telemetry
 }
 
 // Defaults matching the prototype configuration.
@@ -68,12 +73,25 @@ type Port struct {
 	out []TimedByte
 
 	releases  int64
+	pushed    int64 // total bytes accepted into the hold-back buffer
 	maxOccupy int
+
+	obsBytes    *obs.Counter
+	obsReleases *obs.Counter
+	obsStallPS  *obs.Counter
+	track       *obs.Track
 }
 
 // NewPort returns a port with cfg applied (zero fields take defaults).
 func NewPort(cfg PortConfig) *Port {
-	return &Port{cfg: cfg.withDefaults()}
+	p := &Port{cfg: cfg.withDefaults()}
+	if tel := p.cfg.Telemetry; tel != nil {
+		p.obsBytes = tel.Counter("rtad_ptm_bytes_total")
+		p.obsReleases = tel.Counter("rtad_ptm_releases_total")
+		p.obsStallPS = tel.Counter("rtad_ptm_backpressure_ps_total")
+		p.track = tel.Track("fabric", "ptm")
+	}
+	return p
 }
 
 // Occupancy returns bytes currently held back by the formatter.
@@ -83,9 +101,12 @@ func (p *Port) Occupancy() int { return len(p.buf) }
 func (p *Port) StageName() string { return "ptm" }
 
 // QueueStats reports the hold-back buffer as a uniform queue snapshot. The
-// port applies backpressure instead of dropping, so Overflows is always 0.
+// port is lossless by construction — its only pressure-relief mechanism is
+// the backpressure stall Push returns to the CPU, never a drop — so
+// Overflows and Dropped are 0 by design (not merely unreported), and
+// Accepted counts every byte admitted to the hold-back buffer.
 func (p *Port) QueueStats() sim.QueueStats {
-	return sim.QueueStats{Len: len(p.buf), MaxDepth: p.maxOccupy}
+	return sim.QueueStats{Len: len(p.buf), MaxDepth: p.maxOccupy, Accepted: p.pushed}
 }
 
 // MaxOccupancy returns the high-water mark of the hold-back buffer.
@@ -99,6 +120,8 @@ func (p *Port) Releases() int64 { return p.releases }
 // run more than QueueBytes ahead — the only backpressure path to the CPU.
 func (p *Port) Push(at sim.Time, data []byte) sim.Time {
 	p.buf = append(p.buf, data...)
+	p.pushed += int64(len(data))
+	p.obsBytes.Add(int64(len(data)))
 	if len(p.buf) > p.maxOccupy {
 		p.maxOccupy = len(p.buf)
 	}
@@ -109,6 +132,7 @@ func (p *Port) Push(at sim.Time, data []byte) sim.Time {
 	// the queue horizon, the producer waits for the excess.
 	horizon := p.cfg.Clock.Duration(int64(p.cfg.QueueBytes / p.cfg.BytesPerCycle))
 	if lag := p.freeAt - at - horizon; lag > 0 {
+		p.obsStallPS.Add(int64(lag))
 		return lag
 	}
 	return 0
@@ -125,10 +149,12 @@ func (p *Port) Flush(at sim.Time) {
 // release schedules every buffered byte onto the port.
 func (p *Port) release(at sim.Time) {
 	p.releases++
+	p.obsReleases.Inc()
 	beat := p.cfg.Clock.NextEdge(at)
 	if beat < p.freeAt {
 		beat = p.freeAt
 	}
+	releaseStart := beat
 	for i := 0; i < len(p.buf); i += p.cfg.BytesPerCycle {
 		end := i + p.cfg.BytesPerCycle
 		if end > len(p.buf) {
@@ -138,6 +164,10 @@ func (p *Port) release(at sim.Time) {
 			p.out = append(p.out, TimedByte{At: beat, B: b})
 		}
 		beat += p.cfg.Clock.Period()
+	}
+	if p.track != nil {
+		p.track.Span("release", int64(releaseStart), int64(beat),
+			map[string]any{"bytes": len(p.buf)})
 	}
 	p.freeAt = beat
 	p.buf = p.buf[:0]

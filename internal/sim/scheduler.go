@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"rtad/internal/obs"
 )
 
 // An event is one scheduled callback. Events at equal times fire in
@@ -44,10 +46,25 @@ type Scheduler struct {
 	seq    int64
 	fired  int64
 	halted bool
+
+	// Telemetry hooks, nil by default (see Observe). They record executed
+	// events and the timeline head; nil metric receivers make the Step hot
+	// path a single pointer test when telemetry is off.
+	obsEvents *obs.Counter
+	obsNow    *obs.Gauge
 }
 
 // NewScheduler returns an empty scheduler at time zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Observe attaches telemetry: executed events count into
+// rtad_sim_events_total and the timeline head lands in rtad_sim_now_ps.
+// A nil bundle detaches. Observation never alters event order or timing,
+// so instrumented runs stay bit-identical.
+func (s *Scheduler) Observe(tel *obs.Telemetry) {
+	s.obsEvents = tel.Counter("rtad_sim_events_total")
+	s.obsNow = tel.Gauge("rtad_sim_now_ps")
+}
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
@@ -94,6 +111,10 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.queue).(*event)
 	s.now = e.at
 	s.fired++
+	if s.obsEvents != nil {
+		s.obsEvents.Inc()
+		s.obsNow.Set(int64(s.now))
+	}
 	e.fn()
 	return true
 }

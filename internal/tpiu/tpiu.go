@@ -16,7 +16,10 @@
 // a 32-bit word-per-cycle output rate.
 package tpiu
 
-import "rtad/internal/sim"
+import (
+	"rtad/internal/obs"
+	"rtad/internal/sim"
+)
 
 // FrameBytes is the fixed frame size.
 const FrameBytes = 16
@@ -37,6 +40,9 @@ type TimedWord struct {
 type Config struct {
 	SourceID byte
 	Clock    *sim.Clock // port clock; defaults to sim.FabricClock
+	// Telemetry, when non-nil, records emitted frames as spans on the
+	// fabric/tpiu track plus frame/byte counters. Observation-only.
+	Telemetry *obs.Telemetry
 }
 
 // Formatter packs timed trace bytes into frames and emits them as timed
@@ -50,7 +56,12 @@ type Formatter struct {
 	out    []TimedWord
 
 	frames int64
+	pushed int64 // total trace bytes accepted into the frame buffer
 	maxBuf int
+
+	obsFrames *obs.Counter
+	obsBytes  *obs.Counter
+	track     *obs.Track
 }
 
 // NewFormatter returns a formatter with cfg applied.
@@ -61,7 +72,13 @@ func NewFormatter(cfg Config) *Formatter {
 	if cfg.Clock == nil {
 		cfg.Clock = sim.FabricClock
 	}
-	return &Formatter{cfg: cfg}
+	f := &Formatter{cfg: cfg}
+	if tel := cfg.Telemetry; tel != nil {
+		f.obsFrames = tel.Counter("rtad_tpiu_frames_total")
+		f.obsBytes = tel.Counter("rtad_tpiu_bytes_total")
+		f.track = tel.Track("fabric", "tpiu")
+	}
+	return f
 }
 
 // Frames reports how many frames have been emitted.
@@ -74,14 +91,19 @@ func (f *Formatter) Buffered() int { return len(f.buf) }
 func (f *Formatter) StageName() string { return "tpiu" }
 
 // QueueStats reports the frame-assembly buffer as a uniform queue snapshot.
-// Framing never drops trace bytes, so Overflows is always 0.
+// The formatter is lossless by construction — every byte waits in the
+// unbounded frame buffer for a frame boundary, nothing is ever refused —
+// so Overflows and Dropped are 0 by design, and Accepted counts every
+// trace byte admitted.
 func (f *Formatter) QueueStats() sim.QueueStats {
-	return sim.QueueStats{Len: len(f.buf), MaxDepth: f.maxBuf}
+	return sim.QueueStats{Len: len(f.buf), MaxDepth: f.maxBuf, Accepted: f.pushed}
 }
 
 // Push adds one trace byte arriving at time at.
 func (f *Formatter) Push(at sim.Time, b byte) {
 	f.buf = append(f.buf, b)
+	f.pushed++
+	f.obsBytes.Inc()
 	if len(f.buf) > f.maxBuf {
 		f.maxBuf = len(f.buf)
 	}
@@ -122,12 +144,18 @@ func (f *Formatter) emit() {
 	if beat < f.freeAt {
 		beat = f.freeAt
 	}
+	emitStart := beat
 	for i := 0; i < FrameBytes; i += 4 {
 		w := uint32(frame[i]) | uint32(frame[i+1])<<8 |
 			uint32(frame[i+2])<<16 | uint32(frame[i+3])<<24
 		f.out = append(f.out, TimedWord{At: beat, W: w})
 		beat += f.cfg.Clock.Period()
 	}
+	if f.track != nil {
+		f.track.Span("frame", int64(emitStart), int64(beat),
+			map[string]any{"payload": n})
+	}
+	f.obsFrames.Inc()
 	f.freeAt = beat
 	f.frames++
 
