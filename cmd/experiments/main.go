@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"rtad/internal/experiments"
+	"rtad/internal/kernels"
 	"rtad/internal/obs"
 )
 
@@ -41,7 +42,10 @@ func main() {
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 12)")
 		overhead   = flag.Int64("overhead", 0, "Fig 6 instruction budget per run")
 		detect     = flag.Int64("detect", 0, "Fig 8 instruction budget per detection run")
+		trainELM   = flag.Int64("train-elm", 0, "ELM training instruction budget (0 = default)")
+		trainLSTM  = flag.Int64("train-lstm", 0, "LSTM training instruction budget (0 = default)")
 		fig7Bench  = flag.String("fig7bench", "401.bzip2", "benchmark for Fig 7")
+		backend    = flag.String("backend", "", "inference backend: gpu | native | native-calibrated (default gpu; judgments are bit-identical across backends)")
 		workers    = flag.Int("workers", 0, "fleet width for the grid experiments (0 = one per CPU)")
 		jsonPath   = flag.String("json", "", "also write results as JSON to this path")
 		metrics    = flag.Bool("metrics", false, "collect telemetry metrics and embed the snapshot in the JSON report")
@@ -49,9 +53,19 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := experiments.Options{OverheadInstr: *overhead, DetectInstr: *detect, Workers: *workers}
+	opts := experiments.Options{
+		OverheadInstr: *overhead, DetectInstr: *detect,
+		TrainELMInstr: *trainELM, TrainLSTMInstr: *trainLSTM,
+		Workers: *workers, Backend: *backend,
+	}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *backend == kernels.BackendNativeCalibrated {
+		// One table shared by every pipeline of the run: the one-time GPU
+		// calibration pass happens once per deployed shape, and the
+		// recorded costs land in the JSON report.
+		opts.Calibration = kernels.NewCalibration()
 	}
 	if !(*all || *table1 || *table2 || *fig6 || *fig7 || *fig8) {
 		flag.Usage()
@@ -129,6 +143,7 @@ func main() {
 	if tel != nil {
 		report.Metrics = tel.Reg.Snapshot()
 	}
+	report.RecordCalibration(opts.Calibration)
 	if *jsonPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -17,27 +17,31 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"rtad/internal/core"
+	"rtad/internal/kernels"
 	"rtad/internal/obs"
 	"rtad/internal/workload"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "458.sjeng", "benchmark (SPEC-like name, e.g. omnetpp)")
-		model = flag.String("model", "lstm", "detector: elm | lstm")
-		cus   = flag.Int("cus", 5, "compute units (1 = MIAOW, 5 = ML-MIAOW)")
-		instr = flag.Int64("instr", 3_000_000, "detection-run instruction budget")
-		burst = flag.Int("burst", 16384, "injected legitimate-event burst length")
-		seed  = flag.Int64("seed", 1, "attack placement seed")
-		mimic = flag.Bool("mimicry", false, "replay a contiguous legitimate segment (harder to detect)")
-		save  = flag.String("save", "", "save the trained deployment to this file")
-		load  = flag.String("load", "", "load a previously saved deployment instead of training")
+		bench   = flag.String("bench", "458.sjeng", "benchmark (SPEC-like name, e.g. omnetpp)")
+		model   = flag.String("model", "lstm", "detector: elm | lstm")
+		cus     = flag.Int("cus", 5, "compute units (1 = MIAOW, 5 = ML-MIAOW)")
+		backend = flag.String("backend", "", "inference backend: gpu | native | native-calibrated (default gpu; judgments are bit-identical across backends)")
+		calib   = flag.String("calib", "", "calibration-table JSON for the native backends: loaded if present, saved after the run")
+		instr   = flag.Int64("instr", 3_000_000, "detection-run instruction budget")
+		burst   = flag.Int("burst", 16384, "injected legitimate-event burst length")
+		seed    = flag.Int64("seed", 1, "attack placement seed")
+		mimic   = flag.Bool("mimicry", false, "replay a contiguous legitimate segment (harder to detect)")
+		save    = flag.String("save", "", "save the trained deployment to this file")
+		load    = flag.String("load", "", "load a previously saved deployment instead of training")
 
 		tracePath  = flag.String("trace", "", "write a Perfetto trace_event JSON of the detection run to this file")
 		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof live on this address")
@@ -108,17 +112,40 @@ func main() {
 		fmt.Printf("deployment saved to %s\n", *save)
 	}
 
+	var caltab *kernels.Calibration
+	if *calib != "" {
+		var err error
+		caltab, err = kernels.LoadCalibrationFile(*calib)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			caltab = kernels.NewCalibration()
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		default:
+			fmt.Printf("loaded %d calibration entries from %s\n", caltab.Len(), *calib)
+		}
+	}
+
 	kind = dep.Kind
 	detInstr := *instr
 	if kind == core.ModelELM && detInstr < 6_000_000 {
 		detInstr = 6_000_000 // syscall windows are sparse
 	}
 	fmt.Printf("running detection (%d instructions, %d CUs, burst %d)...\n", detInstr, *cus, *burst)
-	res, err := core.RunDetection(dep, core.PipelineConfig{CUs: *cus, Telemetry: tel},
+	res, err := core.RunDetection(dep,
+		core.PipelineConfig{CUs: *cus, Telemetry: tel, Backend: *backend, Calibration: caltab},
 		core.AttackSpec{BurstLen: *burst, Seed: *seed, Mimicry: *mimic}, detInstr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *calib != "" && caltab.Len() > 0 {
+		if err := caltab.SaveFile(*calib); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d calibration entries to %s\n", caltab.Len(), *calib)
 	}
 
 	fmt.Printf("\nattack injected at %v\n", res.InjectTime)

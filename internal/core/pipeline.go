@@ -28,6 +28,16 @@ type PipelineConfig struct {
 	FIFODepth int
 	// DrainThreshold is the PTM formatter hold-back in bytes.
 	DrainThreshold int
+	// Backend selects the inference engine implementation
+	// (kernels.BackendGPU, kernels.BackendNative,
+	// kernels.BackendNativeCalibrated); empty picks the cycle-accurate
+	// default. All backends produce bit-identical judgment streams — the
+	// native ones just skip the per-inference GPU interpretation.
+	Backend string
+	// Calibration, when non-nil, is the shared cycle-cost table the native
+	// backends replay WAIT_DONE timing from; passing one table to every
+	// pipeline in a run amortises the one-time GPU calibration pass.
+	Calibration *kernels.Calibration
 	// SharedEngine and Bus support multi-model deployments: pass the same
 	// token/interconnect to several pipelines so their MCMs contend for
 	// one compute engine and one switch (see RunDualDetection).
@@ -68,6 +78,9 @@ func (c PipelineConfig) withDefaults(kind ModelKind) PipelineConfig {
 	}
 	if c.DrainThreshold <= 0 {
 		c.DrainThreshold = DefaultDrainThreshold
+	}
+	if c.Backend == "" {
+		c.Backend = kernels.DefaultBackend
 	}
 	return c
 }
@@ -119,20 +132,21 @@ var JudgmentLatencyBuckets = obs.ExpBuckets(0.5, 2, 14)
 func NewPipeline(dep *Deployment, cfg PipelineConfig) (*Pipeline, error) {
 	cfg = cfg.withDefaults(dep.Kind)
 	var (
-		dev    *gpu.Device
-		engine mcm.Engine
-		err    error
+		dev  *gpu.Device
+		spec kernels.Spec
 	)
 	switch dep.Kind {
 	case ModelELM:
 		dev = gpu.NewDevice(kernels.ELMMemEnd, cfg.CUs)
-		engine, err = kernels.NewELMEngine(dev, dep.ELM)
+		spec = kernels.Spec{Dev: dev, ELM: dep.ELM}
 	case ModelLSTM:
 		dev = gpu.NewDevice(kernels.LSTMMemEnd, cfg.CUs)
-		engine, err = kernels.NewLSTMEngine(dev, dep.LSTM)
+		spec = kernels.Spec{Dev: dev, LSTM: dep.LSTM}
 	default:
 		return nil, fmt.Errorf("core: unknown model kind")
 	}
+	spec.Calibration = cfg.Calibration
+	engine, err := kernels.NewBackend(cfg.Backend, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +251,9 @@ func (p *Pipeline) Flush(at sim.Time) {
 
 // Judged returns every vector that reached a judgment, in order.
 func (p *Pipeline) Judged() []Judged { return p.judged }
+
+// Backend names the inference backend this pipeline runs on.
+func (p *Pipeline) Backend() string { return p.engine.Name() }
 
 // Err returns the first pipeline error, if any.
 func (p *Pipeline) Err() error { return p.err }

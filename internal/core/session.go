@@ -158,8 +158,19 @@ func (s *Session) sample() {
 // NewDualSession deploys both models on one MLPU against one victim: each
 // lane has its own IGM context, and the two MCM front-ends time-multiplex
 // one compute engine over one interconnect. Lane 0 is the ELM, lane 1 the
-// LSTM.
+// LSTM. Both lanes take the same configuration; NewDualSessionLanes lets
+// them differ (e.g. mixed inference backends).
 func NewDualSession(elmDep, lstmDep *Deployment, cfg PipelineConfig) (*Session, error) {
+	return NewDualSessionLanes(elmDep, lstmDep, cfg, cfg)
+}
+
+// NewDualSessionLanes is NewDualSession with per-lane pipeline configs, so
+// the two lanes may diverge — most usefully in Backend, running e.g. the
+// ELM natively while the LSTM stays on the cycle-accurate engine. The
+// shared-engine token and interconnect are still wired here (any
+// SharedEngine/Bus set on the configs is replaced), and the base telemetry
+// bundle is taken per lane from each config.
+func NewDualSessionLanes(elmDep, lstmDep *Deployment, elmCfg, lstmCfg PipelineConfig) (*Session, error) {
 	if elmDep.Kind != ModelELM || lstmDep.Kind != ModelLSTM {
 		return nil, fmt.Errorf("core: RunDualDetection needs one ELM and one LSTM deployment")
 	}
@@ -177,12 +188,16 @@ func NewDualSession(elmDep, lstmDep *Deployment, cfg PipelineConfig) (*Session, 
 	}
 	shared := mcm.NewSharedEngine()
 
-	elmCfg := cfg.withDefaults(ModelELM)
+	tel := elmCfg.Telemetry
+	if tel == nil {
+		tel = lstmCfg.Telemetry
+	}
+	elmCfg = elmCfg.withDefaults(ModelELM)
 	elmCfg.SharedEngine, elmCfg.Bus = shared, bus
-	elmCfg.Telemetry = cfg.Telemetry.Lane("elm")
-	lstmCfg := cfg.withDefaults(ModelLSTM)
+	elmCfg.Telemetry = tel.Lane("elm")
+	lstmCfg = lstmCfg.withDefaults(ModelLSTM)
 	lstmCfg.SharedEngine, lstmCfg.Bus = shared, bus
-	lstmCfg.Telemetry = cfg.Telemetry.Lane("lstm")
+	lstmCfg.Telemetry = tel.Lane("lstm")
 	elmPipe, err := NewPipeline(elmDep, elmCfg)
 	if err != nil {
 		return nil, err
@@ -203,7 +218,7 @@ func NewDualSession(elmDep, lstmDep *Deployment, cfg PipelineConfig) (*Session, 
 	}
 	s.swap = &swapSink{next: s.fan}
 	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
-	s.observe(cfg.Telemetry)
+	s.observe(tel)
 	return s, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"rtad/internal/core"
 	"rtad/internal/cpu"
 	"rtad/internal/gpu"
+	"rtad/internal/kernels"
 	"rtad/internal/ml"
 	"rtad/internal/obs"
 	"rtad/internal/sim"
@@ -40,6 +41,17 @@ type Options struct {
 	// fan out over; <= 0 uses one worker per available CPU. Results are
 	// bit-identical at any width — each cell is an independent session.
 	Workers int
+	// Backend selects the inference backend for the detection pipelines
+	// (Fig 7, Fig 8): kernels.BackendGPU, BackendNative or
+	// BackendNativeCalibrated; empty picks the cycle-accurate default.
+	// Judgment streams — and therefore every reported number — are
+	// bit-identical across backends; only the wall clock changes.
+	Backend string
+	// Calibration is the shared cycle-cost table for the native backends.
+	// Nil with BackendNativeCalibrated gets one table created in
+	// withDefaults, shared by every pipeline of the run; nil with
+	// BackendNative lets each pipeline self-calibrate lazily.
+	Calibration *kernels.Calibration
 	// Telemetry, when non-nil, collects metrics across the grid runs: each
 	// Fig 8 cell records into a private registry and the registries merge
 	// into Telemetry.Reg serially in cell order, so the aggregate — like the
@@ -74,7 +86,21 @@ func (o Options) withDefaults() Options {
 	if o.DetectInstr <= 0 {
 		o.DetectInstr = 6_000_000
 	}
+	if o.Backend == kernels.BackendNativeCalibrated && o.Calibration == nil {
+		o.Calibration = kernels.NewCalibration()
+	}
 	return o
+}
+
+// pipelineConfig builds a detection-pipeline config carrying the options'
+// backend choice.
+func (o Options) pipelineConfig(cus int, tel *obs.Telemetry) core.PipelineConfig {
+	return core.PipelineConfig{
+		CUs:         cus,
+		Telemetry:   tel,
+		Backend:     o.Backend,
+		Calibration: o.Calibration,
+	}
 }
 
 // trainModels builds the ELM+LSTM model pair used by the trimming and
@@ -264,7 +290,9 @@ func Fig7(o Options, bench string) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rtad, n, err := core.MeasureRTADTransfer(dep, core.PipelineConfig{CUs: 5, Stride: 64}, o.OverheadInstr)
+	pcfg := o.pipelineConfig(5, nil)
+	pcfg.Stride = 64
+	rtad, n, err := core.MeasureRTADTransfer(dep, pcfg, o.OverheadInstr)
 	if err != nil {
 		return nil, err
 	}
@@ -367,11 +395,11 @@ func Fig8(o Options) (*Fig8Result, error) {
 			// several post-injection judgments.
 			detInstr *= 2
 		}
-		m1, err := core.RunDetection(dep, core.PipelineConfig{CUs: 1, Telemetry: jt.Lane("miaow")}, aspec, detInstr)
+		m1, err := core.RunDetection(dep, o.pipelineConfig(1, jt.Lane("miaow")), aspec, detInstr)
 		if err != nil {
 			return fmt.Errorf("fig8 %s/%v MIAOW: %w", p.Name, kind, err)
 		}
-		m5, err := core.RunDetection(dep, core.PipelineConfig{CUs: 5, Telemetry: jt.Lane("mlmiaow")}, aspec, detInstr)
+		m5, err := core.RunDetection(dep, o.pipelineConfig(5, jt.Lane("mlmiaow")), aspec, detInstr)
 		if err != nil {
 			return fmt.Errorf("fig8 %s/%v ML-MIAOW: %w", p.Name, kind, err)
 		}

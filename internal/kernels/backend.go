@@ -1,0 +1,142 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rtad/internal/gpu"
+	"rtad/internal/ml"
+)
+
+// Backend names accepted by NewBackend (and the CLIs' -backend flag).
+const (
+	// BackendGPU is the cycle-accurate ML-MIAOW simulation: every
+	// inference interprets the kernels wavefront-by-wavefront. Timing and
+	// judgments are the ground truth the other backends are validated
+	// against.
+	BackendGPU = "gpu"
+	// BackendNative runs the shared fixed-point forward pass in Go —
+	// bit-identical judgments without interpreting a single GPU
+	// instruction. Cycle costs come from a private calibration table that
+	// self-populates: the first inference of each (model, window, CUs)
+	// shape falls back to the GPU sim and records its cost.
+	BackendNative = "native"
+	// BackendNativeCalibrated is the native backend fed a shared
+	// *Calibration: the factory runs the one-time GPU calibration pass up
+	// front (on a scratch device) for its model shape, so every inference
+	// replays recorded cycles and the GPU sim never runs on the hot path.
+	BackendNativeCalibrated = "native-calibrated"
+	// DefaultBackend preserves the historical behaviour everywhere a
+	// backend is not chosen explicitly.
+	DefaultBackend = BackendGPU
+)
+
+// Backend is the pluggable inference engine the MCM drives: one deployed
+// model, persistent scoring state, and a per-inference cycle cost for the
+// WAIT_DONE phase. All backends of one model must produce bit-identical
+// judgment streams; they may differ only in how the cycle cost is obtained
+// (simulated vs replayed) and how fast the host computes it.
+type Backend interface {
+	// Name is the registry name the backend was built under.
+	Name() string
+	// Window is the input-vector length the engine consumes.
+	Window() int
+	// Infer runs one inference and returns the judgment plus the engine
+	// cycles the MCM waits out in WAIT_DONE.
+	Infer(window []int32) (Judgment, int64, error)
+}
+
+// Spec carries everything a backend factory needs: the device whose memory
+// holds (or will hold) the quantised model image and scoring state, and
+// exactly one trained model.
+type Spec struct {
+	Dev  *gpu.Device
+	ELM  *ml.ELM
+	LSTM *ml.LSTM
+	// Calibration, when non-nil, is a shared cycle-cost table for the
+	// calibrated backends; nil lets the backend own a private table.
+	Calibration *Calibration
+}
+
+func (s Spec) kind() (model string, window int, err error) {
+	switch {
+	case s.ELM != nil && s.LSTM == nil:
+		return "elm", ELMWindow, nil
+	case s.LSTM != nil && s.ELM == nil:
+		return "lstm", LSTMWindow, nil
+	}
+	return "", 0, fmt.Errorf("kernels: backend spec must carry exactly one model")
+}
+
+// Factory builds a backend instance for a model spec.
+type Factory func(Spec) (Backend, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a backend factory under name. It panics on a duplicate or
+// empty name — backend registration is an init-time affair.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("kernels: Register needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("kernels: backend " + name + " registered twice")
+	}
+	registry[name] = f
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewBackend builds the named backend over spec; an empty name picks
+// DefaultBackend.
+func NewBackend(name string, spec Spec) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown backend %q (have %v)", name, Backends())
+	}
+	return f(spec)
+}
+
+func init() {
+	Register(BackendGPU, newGPUBackend)
+	Register(BackendNative, func(s Spec) (Backend, error) {
+		return newNativeBackend(BackendNative, s)
+	})
+	Register(BackendNativeCalibrated, func(s Spec) (Backend, error) {
+		return newNativeBackend(BackendNativeCalibrated, s)
+	})
+}
+
+func newGPUBackend(s Spec) (Backend, error) {
+	if _, _, err := s.kind(); err != nil {
+		return nil, err
+	}
+	if s.Dev == nil {
+		return nil, fmt.Errorf("kernels: %s backend needs a device", BackendGPU)
+	}
+	if s.ELM != nil {
+		return NewELMEngine(s.Dev, s.ELM)
+	}
+	return NewLSTMEngine(s.Dev, s.LSTM)
+}

@@ -1,0 +1,226 @@
+package kernels
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"rtad/internal/gpu"
+	"rtad/internal/ml"
+)
+
+// checkStreamsIdentical drives both backends through the same window
+// stream and requires bit-identical judgments and cycle counts at every
+// step — the contract every backend of one model must honour.
+func checkStreamsIdentical(t *testing.T, ref, got Backend, windows [][]int32) {
+	t.Helper()
+	for i, w := range windows {
+		jr, cr, err := ref.Infer(w)
+		if err != nil {
+			t.Fatalf("window %d: %s: %v", i, ref.Name(), err)
+		}
+		jg, cg, err := got.Infer(w)
+		if err != nil {
+			t.Fatalf("window %d: %s: %v", i, got.Name(), err)
+		}
+		if jr != jg {
+			t.Fatalf("window %d: %s judgment %+v != %s judgment %+v", i, got.Name(), jg, ref.Name(), jr)
+		}
+		if cr != cg {
+			t.Fatalf("window %d: %s cycles %d != %s cycles %d", i, got.Name(), cg, ref.Name(), cr)
+		}
+	}
+}
+
+func elmSpec(model *ml.ELM, cus int, c *Calibration) Spec {
+	return Spec{Dev: gpu.NewDevice(ELMMemEnd, cus), ELM: model, Calibration: c}
+}
+
+func lstmSpec(model *ml.LSTM, cus int, c *Calibration) Spec {
+	return Spec{Dev: gpu.NewDevice(LSTMMemEnd, cus), LSTM: model, Calibration: c}
+}
+
+func TestNativeBackendsBitIdenticalELM(t *testing.T) {
+	model := trainELM(t)
+	windows := markovWindows(ELMVocab, ELMWindow, 60, 123)
+	for _, cus := range []int{1, 5} {
+		for _, name := range []string{BackendNative, BackendNativeCalibrated} {
+			ref, err := NewBackend(BackendGPU, elmSpec(model, cus, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			nat, err := NewBackend(name, elmSpec(model, cus, NewCalibration()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkStreamsIdentical(t, ref, nat, windows)
+		}
+	}
+}
+
+func TestNativeBackendsBitIdenticalLSTM(t *testing.T) {
+	model := trainLSTM(t)
+	windows := markovWindows(LSTMVocab, LSTMWindow, 60, 321)
+	for _, cus := range []int{1, 5} {
+		for _, name := range []string{BackendNative, BackendNativeCalibrated} {
+			ref, err := NewBackend(BackendGPU, lstmSpec(model, cus, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			nat, err := NewBackend(name, lstmSpec(model, cus, NewCalibration()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkStreamsIdentical(t, ref, nat, windows)
+		}
+	}
+}
+
+// TestNativeBackendBitIdenticalUnderTrim repeats the cross-validation on
+// coverage-trimmed devices: the native compute path never touches the
+// interpreter, and its GPU fallback must agree with a trimmed reference the
+// same way the untrimmed one does.
+func TestNativeBackendBitIdenticalUnderTrim(t *testing.T) {
+	elm := trainELM(t)
+	lstm := trainLSTM(t)
+
+	// Steps 1–2 of the trimming flow: record block coverage per model.
+	cover := func(spec Spec, windows [][]int32) gpu.CoverageSet {
+		spec.Dev.EnableCoverage()
+		eng, err := NewBackend(BackendGPU, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range windows {
+			if _, _, err := eng.Infer(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return spec.Dev.Coverage()
+	}
+	elmWindows := markovWindows(ELMVocab, ELMWindow, 40, 77)
+	lstmWindows := markovWindows(LSTMVocab, LSTMWindow, 40, 78)
+	elmKeep := cover(elmSpec(elm, 1, nil), elmWindows)
+	lstmKeep := cover(lstmSpec(lstm, 1, nil), lstmWindows)
+
+	run := func(name string, keep gpu.CoverageSet, spec func(*Calibration) Spec, windows [][]int32) {
+		refSpec := spec(nil)
+		refSpec.Dev.SetTrim(keep)
+		ref, err := NewBackend(BackendGPU, refSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		natSpec := spec(NewCalibration())
+		natSpec.Dev.SetTrim(keep)
+		nat, err := NewBackend(name, natSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStreamsIdentical(t, ref, nat, windows)
+	}
+	for _, name := range []string{BackendNative, BackendNativeCalibrated} {
+		run(name, elmKeep, func(c *Calibration) Spec { return elmSpec(elm, 1, c) }, elmWindows)
+		run(name, lstmKeep, func(c *Calibration) Spec { return lstmSpec(lstm, 1, c) }, lstmWindows)
+	}
+}
+
+// TestNativeCalibratedEagerPass pins the calibrated backend's construction
+// contract: the one-time GPU pass runs up front on a scratch device, the
+// recorded cost equals the real engine's, and the table is shared.
+func TestNativeCalibratedEagerPass(t *testing.T) {
+	model := trainELM(t)
+	shared := NewCalibration()
+	if _, err := NewBackend(BackendNativeCalibrated, elmSpec(model, 5, shared)); err != nil {
+		t.Fatal(err)
+	}
+	key := CalKey{Model: "elm", Window: ELMWindow, CUs: 5}
+	cyc, ok := shared.Lookup(key)
+	if !ok {
+		t.Fatalf("calibration table missing %+v after construction", key)
+	}
+	ref, err := NewBackend(BackendGPU, elmSpec(model, 5, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := ref.Infer(make([]int32, ELMWindow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc != want {
+		t.Fatalf("calibrated cycles %d, cycle-accurate engine reports %d", cyc, want)
+	}
+}
+
+func TestCalibrationPersistenceRoundTrip(t *testing.T) {
+	c := NewCalibration()
+	c.Record(CalKey{Model: "elm", Window: ELMWindow, CUs: 1}, 12345)
+	c.Record(CalKey{Model: "elm", Window: ELMWindow, CUs: 5}, 4321)
+	c.Record(CalKey{Model: "lstm", Window: LSTMWindow, CUs: 5}, 999)
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCalibration(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Entries(), c.Entries(); len(got) != len(want) {
+		t.Fatalf("round trip lost entries: %d != %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("entry %d: %+v != %+v", i, got[i], want[i])
+			}
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "calib.json")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadCalibrationFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.Len() != c.Len() {
+		t.Fatalf("file round trip lost entries: %d != %d", fromFile.Len(), c.Len())
+	}
+	if cyc, ok := fromFile.Lookup(CalKey{Model: "elm", Window: ELMWindow, CUs: 5}); !ok || cyc != 4321 {
+		t.Fatalf("lookup after load: %d, %v", cyc, ok)
+	}
+
+	// Schema mismatches are rejected, not silently accepted.
+	if _, err := ReadCalibration(bytes.NewReader([]byte(`{"schema":"bogus/9","entries":[]}`))); err == nil {
+		t.Fatal("bogus schema accepted")
+	}
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := Backends()
+	for _, want := range []string{BackendGPU, BackendNative, BackendNativeCalibrated} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry %v missing %s", names, want)
+		}
+	}
+	model := trainELM(t)
+	b, err := NewBackend("", elmSpec(model, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != DefaultBackend {
+		t.Fatalf("empty backend name built %q, want default %q", b.Name(), DefaultBackend)
+	}
+	if _, err := NewBackend("no-such-backend", elmSpec(model, 1, nil)); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := NewBackend(BackendNative, Spec{Dev: gpu.NewDevice(ELMMemEnd, 1)}); err == nil {
+		t.Fatal("spec without a model accepted")
+	}
+}

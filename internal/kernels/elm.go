@@ -193,8 +193,10 @@ type ELMEngine struct {
 	alphaQ  int32
 	thrQ    int32
 
-	// refEwma tracks the reference implementation's EWMA for InferRef.
-	refEwma int32
+	// refEwma and refParams track the reference implementation's shadow
+	// state and parameter view for InferRef.
+	refEwma   int32
+	refParams *ml.ELMParamsQ
 }
 
 // BuildELMImage quantises the model into the device image (words 0..ELMImgEnd).
@@ -299,6 +301,21 @@ func (e *ELMEngine) Infer(window []int32) (Judgment, int64, error) {
 	return j, r1.Cycles + r2.Cycles, nil
 }
 
+// ELMParamsView maps the deployed ELM memory layout onto mem as a shared
+// fixed-point parameter view (internal/ml), the single forward-pass
+// implementation behind InferRef and the native backend.
+func ELMParamsView(mem []uint32) *ml.ELMParamsQ {
+	return &ml.ELMParamsQ{
+		Window: ELMWindow,
+		Vocab:  ELMVocab,
+		Hidden: ELMHidden,
+		SigLUT: mem[ELMSigLUT : ELMSigLUT+ml.LUTSize],
+		B1:     mem[ELMB1 : ELMB1+ELMHidden],
+		W1:     mem[ELMW1:ELMBeta],
+		Beta:   mem[ELMBeta : ELMBeta+ELMHidden*ELMVocab],
+	}
+}
+
 // InferRef is the bit-exact Go reference of the kernel pair, used to verify
 // the device (and its trimmed variant) per the flow's step 4.
 func (e *ELMEngine) InferRef(window []int32) (Judgment, error) {
@@ -306,31 +323,17 @@ func (e *ELMEngine) InferRef(window []int32) (Judgment, error) {
 	if err != nil {
 		return Judgment{}, err
 	}
-	mem := e.Dev.Mem
-	lut := mem[ELMSigLUT : ELMSigLUT+ml.LUTSize]
-	var logits [ELMVocab]int32
-	for row := 0; row < ELMHidden; row++ {
-		acc := int32(mem[ELMB1+row])
-		for j := 0; j < ELMWindow-1; j++ {
-			col := j*ELMVocab + int(in[j])
-			acc += int32(mem[ELMW1+col*ELMHidden+row])
-		}
-		sig := ml.SigmoidQ(lut, acc)
-		for v := 0; v < ELMVocab; v++ {
-			logits[v] += gpu.MulQ(sig, int32(mem[ELMBeta+row*ELMVocab+v]))
-		}
+	if e.refParams == nil {
+		e.refParams = ELMParamsView(e.Dev.Mem)
 	}
-	best := logits[0]
-	for _, v := range logits[1:] {
-		if v > best {
-			best = v
-		}
-	}
-	margin := best - logits[int(in[ELMWindow-1])]
-	diff := gpu.MulQ(margin-e.refEwma, e.alphaQ)
-	e.refEwma += diff
+	margin := e.refParams.MarginQ(in)
+	e.refEwma = ml.EwmaStepQ(e.refEwma, margin, e.alphaQ)
 	return Judgment{Anomaly: e.refEwma > e.thrQ, MarginQ: margin, EwmaQ: e.refEwma}, nil
 }
+
+// Name implements the backend contract: the GPU engines are the
+// cycle-accurate BackendGPU implementation.
+func (e *ELMEngine) Name() string { return BackendGPU }
 
 // Window implements the MCM engine contract: the input-vector length.
 func (e *ELMEngine) Window() int { return ELMWindow }

@@ -233,9 +233,10 @@ type LSTMEngine struct {
 	thrQ    int32
 
 	// Reference-implementation mirror state.
-	refH    [LSTMHidden]int32
-	refC    [LSTMHidden]int32
-	refEwma int32
+	refH      [LSTMHidden]int32
+	refC      [LSTMHidden]int32
+	refEwma   int32
+	refParams *ml.LSTMParamsQ
 }
 
 // BuildLSTMImage quantises the model into the device image.
@@ -350,70 +351,43 @@ func (e *LSTMEngine) Infer(window []int32) (Judgment, int64, error) {
 	return j, r1.Cycles + r2.Cycles, nil
 }
 
+// LSTMParamsView maps the deployed LSTM memory layout onto mem as a shared
+// fixed-point parameter view (internal/ml), the single forward-pass
+// implementation behind InferRef and the native backend.
+func LSTMParamsView(mem []uint32) *ml.LSTMParamsQ {
+	return &ml.LSTMParamsQ{
+		Window:  LSTMWindow,
+		Vocab:   LSTMVocab,
+		Embed:   LSTMEmbed,
+		Hidden:  LSTMHidden,
+		SigLUT:  mem[LSTMSigLUT : LSTMSigLUT+ml.LUTSize],
+		TanhLUT: mem[LSTMTanhLUT : LSTMTanhLUT+ml.LUTSize],
+		PosW:    mem[LSTMPosW : LSTMPosW+LSTMWindow-1],
+		Emb:     mem[LSTMEmb : LSTMEmb+LSTMVocab*LSTMEmbed],
+		Wg:      mem[LSTMWg : LSTMWg+ml.NumGates*LSTMHidden*lstmXH],
+		Bg:      mem[LSTMBg : LSTMBg+ml.NumGates*LSTMHidden],
+		OutW:    mem[LSTMOutW : LSTMOutW+LSTMHidden*LSTMVocab],
+		OutB:    mem[LSTMOutB : LSTMOutB+LSTMVocab],
+	}
+}
+
 // InferRef mirrors the kernels bit-for-bit in Go, advancing a shadow state.
 func (e *LSTMEngine) InferRef(window []int32) (Judgment, error) {
 	in, err := e.InputWords(window)
 	if err != nil {
 		return Judgment{}, err
 	}
-	mem := e.Dev.Mem
-	sig := mem[LSTMSigLUT : LSTMSigLUT+ml.LUTSize]
-	tanh := mem[LSTMTanhLUT : LSTMTanhLUT+ml.LUTSize]
-
-	// Window embedding.
-	var xh [lstmXH]int32
-	for j := 0; j < LSTMWindow-1; j++ {
-		c := int(in[j])
-		pw := int32(mem[LSTMPosW+j])
-		for ee := 0; ee < LSTMEmbed; ee++ {
-			xh[ee] += gpu.MulQ(int32(mem[LSTMEmb+c*LSTMEmbed+ee]), pw)
-		}
+	if e.refParams == nil {
+		e.refParams = LSTMParamsView(e.Dev.Mem)
 	}
-	copy(xh[LSTMEmbed:], e.refH[:])
-
-	// Gates.
-	var gates [ml.NumGates][LSTMHidden]int32
-	for g := 0; g < ml.NumGates; g++ {
-		for r := 0; r < LSTMHidden; r++ {
-			acc := int32(mem[LSTMBg+g*LSTMHidden+r])
-			base := LSTMWg + (g*LSTMHidden+r)*lstmXH
-			for k := 0; k < lstmXH; k++ {
-				acc += gpu.MulQ(int32(mem[base+k]), xh[k])
-			}
-			if g == ml.GateG {
-				gates[g][r] = ml.TanhQ(tanh, acc)
-			} else {
-				gates[g][r] = ml.SigmoidQ(sig, acc)
-			}
-		}
-	}
-	// State update.
-	for r := 0; r < LSTMHidden; r++ {
-		c := gpu.MulQ(gates[ml.GateF][r], e.refC[r]) + gpu.MulQ(gates[ml.GateI][r], gates[ml.GateG][r])
-		e.refC[r] = c
-		e.refH[r] = gpu.MulQ(gates[ml.GateO][r], ml.TanhQ(tanh, c))
-	}
-	// Readout.
-	var logits [LSTMVocab]int32
-	for v := 0; v < LSTMVocab; v++ {
-		logits[v] = int32(mem[LSTMOutB+v])
-	}
-	for k := 0; k < LSTMHidden; k++ {
-		w := e.refH[k]
-		for v := 0; v < LSTMVocab; v++ {
-			logits[v] += gpu.MulQ(int32(mem[LSTMOutW+k*LSTMVocab+v]), w)
-		}
-	}
-	best := logits[0]
-	for _, v := range logits[1:] {
-		if v > best {
-			best = v
-		}
-	}
-	margin := best - logits[int(in[LSTMWindow-1])]
-	e.refEwma += gpu.MulQ(margin-e.refEwma, e.alphaQ)
+	margin := e.refParams.StepQ(e.refH[:], e.refC[:], in)
+	e.refEwma = ml.EwmaStepQ(e.refEwma, margin, e.alphaQ)
 	return Judgment{Anomaly: e.refEwma > e.thrQ, MarginQ: margin, EwmaQ: e.refEwma}, nil
 }
+
+// Name implements the backend contract: the GPU engines are the
+// cycle-accurate BackendGPU implementation.
+func (e *LSTMEngine) Name() string { return BackendGPU }
 
 // Window implements the MCM engine contract: the input-vector length.
 func (e *LSTMEngine) Window() int { return LSTMWindow }

@@ -41,14 +41,12 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
-// Engine abstracts the inference engine running on ML-MIAOW (the ELM and
-// LSTM engines of internal/kernels satisfy it).
-type Engine interface {
-	// Window is the input-vector length the engine consumes.
-	Window() int
-	// Infer runs one inference and returns the judgment plus GPU cycles.
-	Infer(window []int32) (kernels.Judgment, int64, error)
-}
+// Engine abstracts the inference engine running on ML-MIAOW. It is the
+// kernels.Backend contract: the cycle-accurate GPU engines, the native
+// fixed-point backend and the calibrated-timing backend all satisfy it,
+// and the MCM is agnostic to which one it drives — every backend returns
+// bit-identical judgments and a cycle cost for the WAIT_DONE phase.
+type Engine = kernels.Backend
 
 // Config parameterises the module.
 type Config struct {
@@ -173,7 +171,14 @@ func New(cfg Config) (*MCM, error) {
 		m.obsAnomalies = tel.Counter("rtad_mcm_anomalies_total")
 		m.obsBusyPS = tel.Counter("rtad_mcm_busy_ps_total")
 		m.obsOcc = tel.Gauge("rtad_mcm_fifo_max_occupancy")
+		// Per-backend label: the backend choice is constant for an MCM's
+		// lifetime, so it is exposed as a labelled info gauge and stamped
+		// once on the track rather than on every span.
+		tel.Gauge(`rtad_mcm_backend_info{backend="` + cfg.Engine.Name() + `"}`).Set(1)
 		m.track = tel.Track("fabric", "mcm")
+		if m.track != nil {
+			m.track.Instant("backend", 0, map[string]any{"backend": cfg.Engine.Name()})
+		}
 	}
 	return m, nil
 }

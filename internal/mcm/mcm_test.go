@@ -17,7 +17,8 @@ type fakeEngine struct {
 	seen      [][]int32
 }
 
-func (f *fakeEngine) Window() int { return f.window }
+func (f *fakeEngine) Name() string { return "fake" }
+func (f *fakeEngine) Window() int  { return f.window }
 func (f *fakeEngine) Infer(w []int32) (kernels.Judgment, int64, error) {
 	f.seen = append(f.seen, append([]int32(nil), w...))
 	j := kernels.Judgment{MarginQ: int32(f.calls)}

@@ -1,0 +1,159 @@
+package ml
+
+import "rtad/internal/gpu"
+
+// Shared fixed-point inference. These helpers are the single source of
+// truth for the deployed models' Q16.16 forward passes: the kernels
+// package's bit-exact Go references (trimming-flow step 4) and the native
+// inference backend both run through them, so every path that claims
+// bit-identity with the GPU kernels shares one implementation.
+//
+// The parameter structs hold slice views over a quantised model image —
+// typically device memory — and never copy or own the weights. Their
+// methods reuse internal scratch buffers, so a params value serves one
+// inference at a time (one pipeline, one goroutine), matching how engines
+// are used everywhere in this repo.
+
+// ELMParamsQ views a quantised ELM image: Window-1 input positions over a
+// Vocab-class alphabet into Hidden units and a Vocab-class readout.
+type ELMParamsQ struct {
+	Window int
+	Vocab  int
+	Hidden int
+	SigLUT []uint32 // [LUTSize] sigmoid table
+	B1     []uint32 // [Hidden] hidden biases
+	W1     []uint32 // [(Window-1)*Vocab][Hidden] input weights, row-major by column
+	Beta   []uint32 // [Hidden][Vocab] readout weights
+
+	logits []int32
+}
+
+// MarginQ runs one forward pass over the quantised input words (Window
+// class IDs, the last being the branch actually observed) and returns the
+// margin score: max logit minus the observed class's logit. The
+// accumulation order matches the kernels exactly — integer adds are
+// associative, so the per-wave partial sums on the GPU equal this
+// sequential walk bit-for-bit.
+func (p *ELMParamsQ) MarginQ(in []uint32) int32 {
+	if len(p.logits) != p.Vocab {
+		p.logits = make([]int32, p.Vocab)
+	}
+	logits := p.logits
+	for v := range logits {
+		logits[v] = 0
+	}
+	for row := 0; row < p.Hidden; row++ {
+		acc := int32(p.B1[row])
+		for j := 0; j < p.Window-1; j++ {
+			col := j*p.Vocab + int(in[j])
+			acc += int32(p.W1[col*p.Hidden+row])
+		}
+		sig := SigmoidQ(p.SigLUT, acc)
+		beta := p.Beta[row*p.Vocab : (row+1)*p.Vocab]
+		for v, b := range beta {
+			logits[v] += gpu.MulQ(sig, int32(b))
+		}
+	}
+	return MarginOfQ(logits, int(in[p.Window-1]))
+}
+
+// LSTMParamsQ views a quantised LSTM image: recency-weighted window
+// embedding, NumGates gate banks over the Embed+Hidden concatenated input,
+// and a Vocab-class readout.
+type LSTMParamsQ struct {
+	Window  int
+	Vocab   int
+	Embed   int
+	Hidden  int
+	SigLUT  []uint32 // [LUTSize]
+	TanhLUT []uint32 // [LUTSize]
+	PosW    []uint32 // [Window-1] recency weights
+	Emb     []uint32 // [Vocab][Embed]
+	Wg      []uint32 // [NumGates][Hidden][Embed+Hidden]
+	Bg      []uint32 // [NumGates][Hidden]
+	OutW    []uint32 // [Hidden][Vocab]
+	OutB    []uint32 // [Vocab]
+
+	xh     []int32
+	gates  []int32
+	logits []int32
+}
+
+// StepQ advances the recurrent state by one timestep: h and c (Hidden
+// values each, Q16.16) are read and updated in place, and the returned
+// value is the margin score for the window's final class.
+func (p *LSTMParamsQ) StepQ(h, c []int32, in []uint32) int32 {
+	xw := p.Embed + p.Hidden
+	if len(p.xh) != xw {
+		p.xh = make([]int32, xw)
+		p.gates = make([]int32, NumGates*p.Hidden)
+		p.logits = make([]int32, p.Vocab)
+	}
+	// Window embedding.
+	xh := p.xh
+	for i := range xh {
+		xh[i] = 0
+	}
+	for j := 0; j < p.Window-1; j++ {
+		cls := int(in[j])
+		pw := int32(p.PosW[j])
+		emb := p.Emb[cls*p.Embed : (cls+1)*p.Embed]
+		for e, w := range emb {
+			xh[e] += gpu.MulQ(int32(w), pw)
+		}
+	}
+	copy(xh[p.Embed:], h)
+	// Gates.
+	gates := p.gates
+	for g := 0; g < NumGates; g++ {
+		for r := 0; r < p.Hidden; r++ {
+			acc := int32(p.Bg[g*p.Hidden+r])
+			w := p.Wg[(g*p.Hidden+r)*xw : (g*p.Hidden+r+1)*xw]
+			for k, wk := range w {
+				acc += gpu.MulQ(int32(wk), xh[k])
+			}
+			if g == GateG {
+				gates[g*p.Hidden+r] = TanhQ(p.TanhLUT, acc)
+			} else {
+				gates[g*p.Hidden+r] = SigmoidQ(p.SigLUT, acc)
+			}
+		}
+	}
+	// State update.
+	for r := 0; r < p.Hidden; r++ {
+		cv := gpu.MulQ(gates[GateF*p.Hidden+r], c[r]) + gpu.MulQ(gates[GateI*p.Hidden+r], gates[GateG*p.Hidden+r])
+		c[r] = cv
+		h[r] = gpu.MulQ(gates[GateO*p.Hidden+r], TanhQ(p.TanhLUT, cv))
+	}
+	// Readout.
+	logits := p.logits
+	for v := 0; v < p.Vocab; v++ {
+		logits[v] = int32(p.OutB[v])
+	}
+	for k := 0; k < p.Hidden; k++ {
+		w := h[k]
+		row := p.OutW[k*p.Vocab : (k+1)*p.Vocab]
+		for v, o := range row {
+			logits[v] += gpu.MulQ(int32(o), w)
+		}
+	}
+	return MarginOfQ(logits, int(in[p.Window-1]))
+}
+
+// MarginOfQ reduces logits to the margin score: max logit minus the target
+// class's logit, the kernels' max-tree followed by a subtract.
+func MarginOfQ(logits []int32, target int) int32 {
+	best := logits[0]
+	for _, v := range logits[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best - logits[target]
+}
+
+// EwmaStepQ folds a margin into the engine's persistent smoothed score:
+// ewma' = ewma + alpha*(margin - ewma), all Q16.16.
+func EwmaStepQ(ewma, margin, alpha int32) int32 {
+	return ewma + gpu.MulQ(margin-ewma, alpha)
+}

@@ -230,7 +230,8 @@ type timedEngine struct {
 	service func([]int32) (int64, error)
 }
 
-func (e *timedEngine) Window() int { return e.window }
+func (e *timedEngine) Name() string { return "timed" }
+func (e *timedEngine) Window() int  { return e.window }
 func (e *timedEngine) Infer(w []int32) (kernels.Judgment, int64, error) {
 	c, err := e.service(w)
 	return kernels.Judgment{}, c, err
