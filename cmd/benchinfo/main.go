@@ -8,12 +8,19 @@
 //
 //	benchinfo
 //	benchinfo -instr 5000000
+//	benchinfo -bench-file BENCH_frontend.json
+//
+// -bench-file instead pretty-prints one of the repo's committed benchmark
+// baselines (BENCH_backends.json, BENCH_frontend.json), resolving the schema
+// from the file itself.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"rtad/internal/cpu"
 	"rtad/internal/ptm"
@@ -22,7 +29,16 @@ import (
 
 func main() {
 	instr := flag.Int64("instr", 2_000_000, "instruction budget per benchmark")
+	benchFile := flag.String("bench-file", "", "pretty-print a committed BENCH_*.json baseline instead of running the workload suite")
 	flag.Parse()
+
+	if *benchFile != "" {
+		if err := printBenchFile(*benchFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("%-16s %8s %8s %8s %9s %10s %10s %9s\n",
 		"benchmark", "CPI", "branch%", "taken%", "call%", "instr/svc", "indirect%", "B/branch")
@@ -61,5 +77,109 @@ func main() {
 			perSvc,
 			100*float64(st.Indirects)/float64(st.Branches),
 			float64(traceBytes)/float64(st.Branches))
+	}
+}
+
+// printBenchFile pretty-prints a committed BENCH_*.json baseline. The schema
+// field inside the file selects the layout; both baseline families share the
+// provenance header (date, host, command).
+func printBenchFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	for _, k := range []string{"schema", "date", "goos", "goarch", "cpu", "command"} {
+		if v, ok := doc[k].(string); ok {
+			fmt.Printf("%-9s %s\n", k+":", v)
+		}
+	}
+	fmt.Println()
+	schema, _ := doc["schema"].(string)
+	switch schema {
+	case "rtad-bench-backends/1":
+		printBackendsBaseline(doc)
+	case "rtad-bench-frontend/1":
+		printFrontendBaseline(doc)
+	default:
+		return fmt.Errorf("%s: unknown schema %q", path, schema)
+	}
+	if note, ok := doc["note"].(string); ok {
+		fmt.Printf("\nnote: %s\n", note)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func numCell(row map[string]any, key string, width int) string {
+	if v, ok := row[key].(float64); ok {
+		return fmt.Sprintf("%*.0f", width, v)
+	}
+	return fmt.Sprintf("%*s", width, "-")
+}
+
+// printBackendsBaseline lays out BENCH_backends.json: one row per benchmark,
+// one ns/op column per inference backend, plus the headline speedups.
+func printBackendsBaseline(doc map[string]any) {
+	benches, _ := doc["benchmarks"].(map[string]any)
+	fmt.Printf("%-26s %14s %14s %18s\n", "benchmark (ns/op)", "gpu", "native", "native-calibrated")
+	for _, name := range sortedKeys(benches) {
+		row, _ := benches[name].(map[string]any)
+		fmt.Printf("%-26s %s %s %s\n", name,
+			numCell(row, "gpu", 14), numCell(row, "native", 14), numCell(row, "native-calibrated", 18))
+	}
+	if sp, ok := doc["speedup_native_calibrated_vs_gpu"].(map[string]any); ok {
+		fmt.Printf("\nspeedup, native-calibrated vs gpu:\n")
+		for _, k := range sortedKeys(sp) {
+			if v, ok := sp[k].(float64); ok {
+				fmt.Printf("  %-22s %6.2fx\n", k, v)
+			}
+		}
+	}
+}
+
+// printFrontendBaseline lays out BENCH_frontend.json: the per-event
+// microbenchmarks with their zero-alloc baselines, then the end-to-end
+// wall-clock speedup table.
+func printFrontendBaseline(doc map[string]any) {
+	benches, _ := doc["benchmarks"].(map[string]any)
+	fmt.Printf("%-24s %10s %8s %11s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, name := range sortedKeys(benches) {
+		row, _ := benches[name].(map[string]any)
+		ns := "-"
+		if v, ok := row["ns_per_op"].(float64); ok {
+			ns = fmt.Sprintf("%.1f", v)
+		}
+		fmt.Printf("%-24s %10s %s %s\n", name,
+			ns, numCell(row, "bytes_per_op", 8), numCell(row, "allocs_per_op", 11))
+	}
+	wc, ok := doc["wallclock"].(map[string]any)
+	if !ok {
+		return
+	}
+	name, _ := wc["benchmark"].(string)
+	before, _ := wc["before_ns_per_op"].(map[string]any)
+	after, _ := wc["after_ns_per_op"].(map[string]any)
+	speedup, _ := wc["speedup"].(map[string]any)
+	fmt.Printf("\n%s wall clock (ns/op):\n", name)
+	fmt.Printf("  %-18s %14s %14s %9s\n", "backend", "before", "after", "speedup")
+	for _, b := range sortedKeys(before) {
+		sp := "-"
+		if v, ok := speedup[b].(float64); ok {
+			sp = fmt.Sprintf("%.2fx", v)
+		}
+		fmt.Printf("  %-18s %s %s %9s\n", b,
+			numCell(before, b, 14), numCell(after, b, 14), sp)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"rtad/internal/experiments"
 	"rtad/internal/kernels"
 	"rtad/internal/obs"
+	"rtad/internal/prof"
 )
 
 func main() {
@@ -50,8 +51,17 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write results as JSON to this path")
 		metrics    = flag.Bool("metrics", false, "collect telemetry metrics and embed the snapshot in the JSON report")
 		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof live on this address (implies -metrics)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	ps, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer ps.Stop()
 
 	opts := experiments.Options{
 		OverheadInstr: *overhead, DetectInstr: *detect,
@@ -69,7 +79,7 @@ func main() {
 	}
 	if !(*all || *table1 || *table2 || *fig6 || *fig7 || *fig8) {
 		flag.Usage()
-		os.Exit(2)
+		prof.Exit(ps, 2)
 	}
 
 	var tel *obs.Telemetry
@@ -81,7 +91,7 @@ func main() {
 		srv, err := obs.Serve(*metricsAdr, tel.Reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		defer srv.Close()
 		fmt.Printf("serving metrics at http://%s/metrics\n", srv.Addr())
@@ -97,7 +107,7 @@ func main() {
 		res, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		wall := time.Since(start).Seconds()
 		report.WallSeconds[key] = wall
@@ -148,12 +158,12 @@ func main() {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "encoding report: %v\n", err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		blob = append(blob, '\n')
 		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}

@@ -26,6 +26,7 @@ import (
 	"rtad/internal/core"
 	"rtad/internal/kernels"
 	"rtad/internal/obs"
+	"rtad/internal/prof"
 	"rtad/internal/workload"
 )
 
@@ -46,8 +47,17 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Perfetto trace_event JSON of the detection run to this file")
 		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof live on this address")
 		hold       = flag.Duration("hold", 0, "keep the metrics server up this long after the run (for scrapers)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	ps, perr := prof.Start(*cpuProf, *memProf)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+	defer ps.Stop()
 
 	var tel *obs.Telemetry
 	switch {
@@ -60,7 +70,7 @@ func main() {
 		srv, err := obs.Serve(*metricsAdr, tel.Reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		defer srv.Close()
 		fmt.Printf("serving metrics at http://%s/metrics\n", srv.Addr())
@@ -72,7 +82,7 @@ func main() {
 		for _, q := range workload.Profiles() {
 			fmt.Fprintf(os.Stderr, "  %s\n", q.Name)
 		}
-		os.Exit(2)
+		prof.Exit(ps, 2)
 	}
 	var kind core.ModelKind
 	switch *model {
@@ -82,7 +92,7 @@ func main() {
 		kind = core.ModelLSTM
 	default:
 		fmt.Fprintf(os.Stderr, "unknown model %q (want elm or lstm)\n", *model)
-		os.Exit(2)
+		prof.Exit(ps, 2)
 	}
 
 	var dep *core.Deployment
@@ -91,7 +101,7 @@ func main() {
 		dep, err = core.LoadDeploymentFile(*load)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		fmt.Printf("loaded %v deployment for %s from %s\n", dep.Kind, dep.Profile.Name, *load)
 	} else {
@@ -99,7 +109,7 @@ func main() {
 		dep, err = core.Train(core.DefaultTrainConfig(p, kind))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		fmt.Printf("  %d training windows, threshold %.4f, IGM table %d entries\n",
 			dep.TrainWindows, modelThreshold(dep), dep.Mapper.Size())
@@ -107,7 +117,7 @@ func main() {
 	if *save != "" {
 		if err := dep.SaveFile(*save); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		fmt.Printf("deployment saved to %s\n", *save)
 	}
@@ -121,7 +131,7 @@ func main() {
 			caltab = kernels.NewCalibration()
 		case err != nil:
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		default:
 			fmt.Printf("loaded %d calibration entries from %s\n", caltab.Len(), *calib)
 		}
@@ -138,12 +148,12 @@ func main() {
 		core.AttackSpec{BurstLen: *burst, Seed: *seed, Mimicry: *mimic}, detInstr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		prof.Exit(ps, 1)
 	}
 	if *calib != "" && caltab.Len() > 0 {
 		if err := caltab.SaveFile(*calib); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		fmt.Printf("saved %d calibration entries to %s\n", caltab.Len(), *calib)
 	}
@@ -169,15 +179,15 @@ func main() {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		if err := tel.Tracer.WriteJSON(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			prof.Exit(ps, 1)
 		}
 		fmt.Printf("wrote %d trace events (%d tracks, %d dropped) to %s — open at ui.perfetto.dev\n",
 			tel.Tracer.Events(), len(tel.Tracer.TrackNames()), tel.Tracer.Dropped(), *tracePath)

@@ -115,6 +115,14 @@ type Pipeline struct {
 	judged         []Judged
 	err            error
 
+	// Per-branch scratch buffers: BranchRetired and drain run once per
+	// retired branch, so every stage hand-off reuses these instead of
+	// allocating fresh slices (the Take()/Encode() compat paths do that).
+	encBuf     []byte
+	tbScratch  []ptm.TimedByte
+	twScratch  []tpiu.TimedWord
+	vecScratch []igm.Vector
+
 	// Judgment telemetry lives here rather than in Session.deliver so the
 	// recording order follows the instruction stream, keeping trace output
 	// invariant to how callers slice Step().
@@ -195,55 +203,72 @@ func (p *Pipeline) BranchRetired(ev cpu.BranchEvent) int64 {
 			p.acceptedRetire = append(p.acceptedRetire, at)
 		}
 	}
-	stall := p.port.Push(at, p.enc.Encode(ev))
+	p.encBuf = p.enc.EncodeInto(p.encBuf[:0], ev)
+	stall := p.port.Push(at, p.encBuf)
 	p.drain()
 	return sim.CPUClock.CyclesCeil(stall)
 }
 
-// drain moves whatever each stage has produced into the next stage.
+// drain moves whatever each stage has produced into the next stage. All
+// hand-offs go through the TakeInto scratch buffers, so in steady state —
+// in particular for every filtered or non-emitting branch — a drain pass
+// allocates nothing.
 func (p *Pipeline) drain() {
-	for _, tb := range p.port.Take() {
+	p.tbScratch = p.port.TakeInto(p.tbScratch[:0])
+	for _, tb := range p.tbScratch {
 		p.fmtr.Push(tb.At, tb.B)
 	}
-	for _, w := range p.fmtr.Take() {
+	p.twScratch = p.fmtr.TakeInto(p.twScratch[:0])
+	for _, w := range p.twScratch {
 		p.ig.FeedWord(w)
 	}
-	for _, v := range p.ig.Take() {
+	p.vecScratch = p.ig.TakeInto(p.vecScratch[:0])
+	for _, v := range p.vecScratch {
 		rec, ok, err := p.mod.Push(v)
 		if err != nil {
 			if p.err == nil {
 				p.err = err
 			}
+			p.ig.Recycle(v.Classes)
 			continue
 		}
 		if !ok {
-			continue // dropped at the MCM FIFO
+			// Dropped at the MCM FIFO: the vector dies here, so its pooled
+			// window goes back to the IGM.
+			p.ig.Recycle(v.Classes)
+			continue
 		}
 		idx := v.AcceptedIdx - 1
 		var retire sim.Time
 		if idx >= 0 && idx < int64(len(p.acceptedRetire)) {
 			retire = p.acceptedRetire[idx]
 		}
+		// Judged retains the vector (and its Classes buffer), so it is not
+		// recycled — ownership transfers to the judgment record.
 		j := Judged{Vector: v, Rec: rec, FinalRetire: retire}
 		p.judged = append(p.judged, j)
-		p.obsJudgments.Inc()
-		latUS := float64(j.JudgmentLatency()) / float64(sim.Microsecond)
-		p.latHist.Observe(latUS)
-		if p.judgTrack != nil {
-			p.judgTrack.Instant("judgment", int64(rec.Done), map[string]any{
-				"seq": v.Seq, "latency_us": latUS, "anomaly": rec.Judgment.Anomaly,
-			})
+		if p.obsJudgments != nil {
+			p.obsJudgments.Inc()
+			latUS := float64(j.JudgmentLatency()) / float64(sim.Microsecond)
+			p.latHist.Observe(latUS)
+			if p.judgTrack != nil {
+				p.judgTrack.Instant("judgment", int64(rec.Done), map[string]any{
+					"seq": v.Seq, "latency_us": latUS, "anomaly": rec.Judgment.Anomaly,
+				})
+			}
 		}
 	}
 }
 
 // Flush pushes out any residual trace data at time at (end of a window).
 func (p *Pipeline) Flush(at sim.Time) {
-	p.port.Push(at, p.enc.Flush())
+	p.encBuf = p.enc.FlushInto(p.encBuf[:0])
+	p.port.Push(at, p.encBuf)
 	p.port.Flush(at)
 	p.drain()
 	p.fmtr.Flush(at)
-	for _, w := range p.fmtr.Take() {
+	p.twScratch = p.fmtr.TakeInto(p.twScratch[:0])
+	for _, w := range p.twScratch {
 		p.ig.FeedWord(w)
 	}
 	p.drain()

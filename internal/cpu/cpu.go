@@ -26,6 +26,15 @@ const DefaultMemBytes = 1 << 20
 type CPU struct {
 	prog *isa.Program
 	mem  []byte
+	// Predecoded program image, indexed by (pc-base)/WordBytes: the image
+	// is immutable (W^X is the threat model), so each word is decoded once
+	// at construction and the fetch/execute loop between branch events runs
+	// on table lookups with no per-instruction decode. Words that fail to
+	// decode stay marked invalid and fall back to isa.Decode for the
+	// canonical error.
+	dec   []isa.Instruction
+	decOK []bool
+	base  uint32
 
 	regs [isa.NumRegs]uint32
 	pc   uint32
@@ -55,12 +64,20 @@ func New(prog *isa.Program, cfg Config) *CPU {
 		cfg.MemBytes = DefaultMemBytes
 	}
 	c := &CPU{
-		prog: prog,
-		mem:  make([]byte, cfg.MemBytes),
-		mode: cfg.Mode,
-		sink: cfg.Sink,
-		wx:   cfg.WXProtect,
-		pc:   prog.Base,
+		prog:  prog,
+		mem:   make([]byte, cfg.MemBytes),
+		dec:   make([]isa.Instruction, len(prog.Words)),
+		decOK: make([]bool, len(prog.Words)),
+		base:  prog.Base,
+		mode:  cfg.Mode,
+		sink:  cfg.Sink,
+		wx:    cfg.WXProtect,
+		pc:    prog.Base,
+	}
+	for i, w := range prog.Words {
+		if ins, err := isa.Decode(w); err == nil {
+			c.dec[i], c.decOK[i] = ins, true
+		}
 	}
 	c.regs[isa.SP] = uint32(cfg.MemBytes - 16)
 	c.regs[isa.R10] = uint32(cfg.MemBytes / 2)
@@ -140,36 +157,50 @@ func (c *CPU) retireBranch(pc, target uint32, kind Kind, taken bool) {
 	}
 }
 
+// takeTo retires a taken transfer to target and returns the new PC.
+func (c *CPU) takeTo(pc, target uint32, kind Kind) uint32 {
+	c.cycles += isa.BranchTakenPenalty
+	c.retireBranch(pc, target, kind, true)
+	return target
+}
+
+// fetchSlow reproduces the canonical fetch/decode errors for PCs outside
+// the predecode cache (bad fetch) or words that never decoded.
+func (c *CPU) fetchSlow() error {
+	w, err := c.prog.WordAt(c.pc)
+	if err != nil {
+		return err
+	}
+	if _, err := isa.Decode(w); err != nil {
+		return fmt.Errorf("cpu: at pc %#x: %v", c.pc, err)
+	}
+	// Unreachable in practice: a decodable in-bounds word is always cached.
+	return fmt.Errorf("cpu: at pc %#x: predecode cache miss", c.pc)
+}
+
 // Step executes one instruction and returns an error on an architectural
 // fault (bad fetch, bad memory access). Stepping a halted core is a no-op.
 func (c *CPU) Step() error {
 	if c.halted {
 		return nil
 	}
-	w, err := c.prog.WordAt(c.pc)
-	if err != nil {
-		return err
-	}
-	ins, err := isa.Decode(w)
-	if err != nil {
-		return fmt.Errorf("cpu: at pc %#x: %v", c.pc, err)
-	}
-
 	pc := c.pc
+	idx := (pc - c.base) / isa.WordBytes
+	if pc%isa.WordBytes != 0 || pc < c.base || idx >= uint32(len(c.dec)) || !c.decOK[idx] {
+		return c.fetchSlow()
+	}
+	ins := c.dec[idx]
+
 	next := pc + isa.WordBytes
 	c.cycles += ins.Op.Cycles()
 	c.instret++
 
-	operand := func() uint32 {
-		if ins.HasImm {
-			return uint32(ins.Imm)
-		}
-		return c.regs[ins.Rm]
-	}
-	takeTo := func(target uint32, kind Kind) {
-		c.cycles += isa.BranchTakenPenalty
-		c.retireBranch(pc, target, kind, true)
-		next = target
+	// ALU second operand (register or immediate form). Hoisted out of the
+	// per-op cases so the switch body stays closure-free: closures here sit
+	// on the hottest path of the whole co-simulation.
+	op2 := c.regs[ins.Rm]
+	if ins.HasImm {
+		op2 = uint32(ins.Imm)
 	}
 
 	switch ins.Op {
@@ -177,29 +208,29 @@ func (c *CPU) Step() error {
 	case isa.HALT:
 		c.halted = true
 	case isa.ADD:
-		c.regs[ins.Rd] = c.regs[ins.Rn] + operand()
+		c.regs[ins.Rd] = c.regs[ins.Rn] + op2
 	case isa.SUB:
-		c.regs[ins.Rd] = c.regs[ins.Rn] - operand()
+		c.regs[ins.Rd] = c.regs[ins.Rn] - op2
 	case isa.AND:
-		c.regs[ins.Rd] = c.regs[ins.Rn] & operand()
+		c.regs[ins.Rd] = c.regs[ins.Rn] & op2
 	case isa.ORR:
-		c.regs[ins.Rd] = c.regs[ins.Rn] | operand()
+		c.regs[ins.Rd] = c.regs[ins.Rn] | op2
 	case isa.EOR:
-		c.regs[ins.Rd] = c.regs[ins.Rn] ^ operand()
+		c.regs[ins.Rd] = c.regs[ins.Rn] ^ op2
 	case isa.LSL:
-		c.regs[ins.Rd] = c.regs[ins.Rn] << (operand() & 31)
+		c.regs[ins.Rd] = c.regs[ins.Rn] << (op2 & 31)
 	case isa.LSR:
-		c.regs[ins.Rd] = c.regs[ins.Rn] >> (operand() & 31)
+		c.regs[ins.Rd] = c.regs[ins.Rn] >> (op2 & 31)
 	case isa.ASR:
-		c.regs[ins.Rd] = uint32(int32(c.regs[ins.Rn]) >> (operand() & 31))
+		c.regs[ins.Rd] = uint32(int32(c.regs[ins.Rn]) >> (op2 & 31))
 	case isa.MUL:
-		c.regs[ins.Rd] = c.regs[ins.Rn] * operand()
+		c.regs[ins.Rd] = c.regs[ins.Rn] * op2
 	case isa.MOV:
-		c.regs[ins.Rd] = operand()
+		c.regs[ins.Rd] = op2
 	case isa.MVN:
-		c.regs[ins.Rd] = ^operand()
+		c.regs[ins.Rd] = ^op2
 	case isa.CMP:
-		a, b := int32(c.regs[ins.Rn]), int32(operand())
+		a, b := int32(c.regs[ins.Rn]), int32(op2)
 		c.flagEQ = a == b
 		c.flagLT = a < b
 	case isa.LDR:
@@ -214,7 +245,7 @@ func (c *CPU) Step() error {
 		}
 
 	case isa.B:
-		takeTo(next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
+		next = c.takeTo(pc, next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
 	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
 		taken := false
 		switch ins.Op {
@@ -228,21 +259,21 @@ func (c *CPU) Step() error {
 			taken = !c.flagLT
 		}
 		if taken {
-			takeTo(next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
+			next = c.takeTo(pc, next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
 		} else {
 			// Not-taken waypoints still retire an atom-worthy event.
 			c.retireBranch(pc, next, KindDirect, false)
 		}
 	case isa.BL:
 		c.regs[isa.LR] = next
-		takeTo(next+uint32(ins.Imm)*isa.WordBytes, KindCall)
+		next = c.takeTo(pc, next+uint32(ins.Imm)*isa.WordBytes, KindCall)
 	case isa.BLR:
 		c.regs[isa.LR] = next
-		takeTo(c.regs[ins.Rm], KindIndCall)
+		next = c.takeTo(pc, c.regs[ins.Rm], KindIndCall)
 	case isa.BR:
-		takeTo(c.regs[ins.Rm], KindIndirect)
+		next = c.takeTo(pc, c.regs[ins.Rm], KindIndirect)
 	case isa.RET:
-		takeTo(c.regs[isa.LR], KindReturn)
+		next = c.takeTo(pc, c.regs[isa.LR], KindReturn)
 	case isa.SVC:
 		// The kernel entry/exit cost is in SVC's base cycle count; the
 		// event target encodes the service number for feature mapping.
@@ -258,9 +289,59 @@ func (c *CPU) Step() error {
 // Run executes up to maxInstr instructions, stopping early at HALT or on an
 // architectural fault. It returns the number of instructions retired during
 // this call.
+//
+// This is the batched fetch/execute inner loop: straight-line instructions
+// (the bulk of every workload) execute in the tight loop below on the
+// predecode cache, with no per-instruction call; control transfers, loads/
+// stores, traps and cache misses fall out to the generic Step, which is the
+// single source of truth for their semantics.
 func (c *CPU) Run(maxInstr int64) (int64, error) {
 	start := c.instret
-	for c.instret-start < maxInstr && !c.halted {
+	end := start + maxInstr
+	for !c.halted && c.instret < end {
+		pc := c.pc
+		idx := (pc - c.base) / isa.WordBytes
+		if pc%isa.WordBytes == 0 && pc >= c.base && idx < uint32(len(c.dec)) && c.decOK[idx] {
+			ins := &c.dec[idx]
+			if op := ins.Op; op >= isa.ADD && op <= isa.CMP && op != isa.MUL || op == isa.NOP {
+				// One-cycle register op: mirror of Step's ALU cases.
+				op2 := c.regs[ins.Rm]
+				if ins.HasImm {
+					op2 = uint32(ins.Imm)
+				}
+				switch op {
+				case isa.NOP:
+				case isa.ADD:
+					c.regs[ins.Rd] = c.regs[ins.Rn] + op2
+				case isa.SUB:
+					c.regs[ins.Rd] = c.regs[ins.Rn] - op2
+				case isa.AND:
+					c.regs[ins.Rd] = c.regs[ins.Rn] & op2
+				case isa.ORR:
+					c.regs[ins.Rd] = c.regs[ins.Rn] | op2
+				case isa.EOR:
+					c.regs[ins.Rd] = c.regs[ins.Rn] ^ op2
+				case isa.LSL:
+					c.regs[ins.Rd] = c.regs[ins.Rn] << (op2 & 31)
+				case isa.LSR:
+					c.regs[ins.Rd] = c.regs[ins.Rn] >> (op2 & 31)
+				case isa.ASR:
+					c.regs[ins.Rd] = uint32(int32(c.regs[ins.Rn]) >> (op2 & 31))
+				case isa.MOV:
+					c.regs[ins.Rd] = op2
+				case isa.MVN:
+					c.regs[ins.Rd] = ^op2
+				case isa.CMP:
+					a, b := int32(c.regs[ins.Rn]), int32(op2)
+					c.flagEQ = a == b
+					c.flagLT = a < b
+				}
+				c.cycles++
+				c.instret++
+				c.pc = pc + isa.WordBytes
+				continue
+			}
+		}
 		if err := c.Step(); err != nil {
 			return c.instret - start, err
 		}

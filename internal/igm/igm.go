@@ -124,10 +124,16 @@ const (
 
 // IGM is the module instance.
 type IGM struct {
-	cfg       Config
-	defr      *tpiu.Deframer
-	dec       *ptm.StreamDecoder
+	cfg  Config
+	defr *tpiu.Deframer
+	dec  *ptm.StreamDecoder
+	// win is the sliding window as a fixed-capacity ring (hardware shift
+	// register): winHd indexes the oldest element once winN == Window, so
+	// sliding is one store instead of a copy.
 	win       []int32
+	winHd     int
+	winN      int
+	free      [][]int32 // recycled Classes buffers (see Recycle)
 	out       []Vector
 	maxOut    int
 	seq       int64
@@ -173,6 +179,7 @@ func New(cfg Config) *IGM {
 		cfg:  cfg,
 		defr: tpiu.NewDeframer(0),
 		dec:  ptm.NewStreamDecoder(),
+		win:  make([]int32, cfg.Window),
 	}
 	if tel := cfg.Telemetry; tel != nil {
 		g.obsAccepted = tel.Counter("rtad_igm_accepted_total")
@@ -195,14 +202,16 @@ func (g *IGM) FeedWord(w tpiu.TimedWord) {
 	// results are valid one cycle after the word arrives.
 	decodeAt := w.At + g.cfg.Clock.Duration(taDecodeCycles)
 	for _, b := range payload {
-		for _, pkt := range g.dec.Feed(b) {
-			g.stats.Packets++
-			if pkt.Type != ptm.PktBranch {
-				continue
-			}
-			g.stats.Branches++
-			g.acceptBranch(decodeAt, pkt.Addr)
+		pkt, ok := g.dec.FeedByte(b)
+		if !ok {
+			continue
 		}
+		g.stats.Packets++
+		if pkt.Type != ptm.PktBranch {
+			continue
+		}
+		g.stats.Branches++
+		g.acceptBranch(decodeAt, pkt.Addr)
 	}
 	g.stats.DecErrors = g.dec.Errors
 }
@@ -227,11 +236,14 @@ func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
 	g.obsAccepted.Inc()
 	at += g.cfg.Clock.Duration(mapperCycles + vecEncodeCycles)
 
-	g.win = append(g.win, class)
-	if len(g.win) > g.cfg.Window {
-		g.win = g.win[len(g.win)-g.cfg.Window:]
+	if g.winN < g.cfg.Window {
+		g.win[(g.winHd+g.winN)%g.cfg.Window] = class
+		g.winN++
+	} else {
+		g.win[g.winHd] = class
+		g.winHd = (g.winHd + 1) % g.cfg.Window
 	}
-	if len(g.win) < g.cfg.Window {
+	if g.winN < g.cfg.Window {
 		return
 	}
 	g.sinceEmit++
@@ -239,9 +251,13 @@ func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
 		return
 	}
 	g.sinceEmit = 0
+	classes := g.classBuf()
+	for i := range classes {
+		classes[i] = g.win[(g.winHd+i)%g.cfg.Window]
+	}
 	vec := Vector{
 		At: at, Seq: g.seq, AcceptedIdx: g.stats.Accepted,
-		Addr: addr, Classes: append([]int32(nil), g.win...),
+		Addr: addr, Classes: classes,
 	}
 	g.seq++
 	g.stats.Vectors++
@@ -266,11 +282,45 @@ func (g *IGM) QueueStats() sim.QueueStats {
 	return sim.QueueStats{Len: len(g.out), MaxDepth: g.maxOut, Accepted: g.stats.Vectors}
 }
 
-// Take returns and clears the emitted vectors.
-func (g *IGM) Take() []Vector {
-	out := g.out
-	g.out = nil
-	return out
+// classBuf returns a Window-length buffer for a new vector's Classes,
+// reusing a recycled one when available.
+func (g *IGM) classBuf() []int32 {
+	if n := len(g.free); n > 0 {
+		buf := g.free[n-1]
+		g.free = g.free[:n-1]
+		return buf[:g.cfg.Window]
+	}
+	return make([]int32, g.cfg.Window)
+}
+
+// Recycle returns a Vector's Classes buffer to the IGM for reuse by a later
+// vector. Callers that are done with a vector (after copying or translating
+// its window) can recycle it to make vector emission allocation-free in
+// steady state; callers that retain Classes simply never call Recycle.
+// The buffer must not be used after recycling.
+func (g *IGM) Recycle(classes []int32) {
+	if cap(classes) < g.cfg.Window {
+		return
+	}
+	g.free = append(g.free, classes)
+}
+
+// Take returns and clears the emitted vectors. It is a compat wrapper over
+// TakeInto: the returned slice is freshly allocated and owned by the caller.
+// Hot paths should prefer TakeInto with a recycled buffer.
+func (g *IGM) Take() []Vector { return g.TakeInto(nil) }
+
+// TakeInto appends the emitted vectors to dst, clears the internal queue
+// (retaining its capacity for reuse), and returns the extended slice. A
+// caller that recycles dst (`vecs = ig.TakeInto(vecs[:0])`) drains the IGM
+// with zero steady-state allocations.
+func (g *IGM) TakeInto(dst []Vector) []Vector {
+	dst = append(dst, g.out...)
+	for i := range g.out {
+		g.out[i] = Vector{}
+	}
+	g.out = g.out[:0]
+	return dst
 }
 
 // Stats returns the activity counters.

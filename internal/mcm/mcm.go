@@ -129,11 +129,17 @@ type MCM struct {
 	cfg    Config
 	freeAt sim.Time // engine pipeline free time
 	// starts holds the service-start times of accepted-but-not-started
-	// vectors, to compute FIFO occupancy at each arrival.
+	// vectors, to compute FIFO occupancy at each arrival. Entries before
+	// startsHd have already been observed in the past by a monotone query
+	// and can never count again.
 	starts      []sim.Time
+	startsHd    int
 	lastArrival sim.Time
 	stats       Stats
 	state       State
+	// winBuf is the protocol-conversion scratch window, reused across Push
+	// calls; engines copy their input immediately, so it never escapes.
+	winBuf []int32
 
 	obsAccepted  *obs.Counter
 	obsDropped   *obs.Counter
@@ -205,15 +211,16 @@ func (m *MCM) QueueStats() sim.QueueStats {
 	}
 }
 
-// occupancyAt counts vectors still waiting in the FIFO at time t.
+// occupancyAt counts vectors still waiting in the FIFO at time t. starts is
+// monotone non-decreasing (each service begins after the previous one ends)
+// and queries arrive in time order (vector arrivals), so entries that have
+// fallen behind t are pruned from the front once instead of rescanned on
+// every arrival.
 func (m *MCM) occupancyAt(t sim.Time) int {
-	n := 0
-	for _, s := range m.starts {
-		if s > t {
-			n++
-		}
+	for m.startsHd < len(m.starts) && m.starts[m.startsHd] <= t {
+		m.startsHd++
 	}
-	return n
+	return len(m.starts) - m.startsHd
 }
 
 // Push offers one IGM vector to the module. It returns the vector's record
@@ -243,8 +250,11 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 		m.track.Counter("fifo_depth", int64(v.At), float64(occ+1))
 	}
 
-	// Protocol conversion.
-	window := make([]int32, len(v.Classes))
+	// Protocol conversion, into the reused scratch window.
+	if cap(m.winBuf) < len(v.Classes) {
+		m.winBuf = make([]int32, len(v.Classes))
+	}
+	window := m.winBuf[:len(v.Classes)]
 	for i, c := range v.Classes {
 		if m.cfg.Translate != nil {
 			c = m.cfg.Translate(c)
@@ -315,10 +325,11 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 		m.cfg.Shared.freeAt = t
 	}
 	m.starts = append(m.starts, start)
-	// Garbage-collect starts that can no longer affect occupancy.
-	if len(m.starts) > 4*m.cfg.FIFODepth {
-		cut := len(m.starts) - 2*m.cfg.FIFODepth
-		m.starts = append(m.starts[:0], m.starts[cut:]...)
+	// Garbage-collect pruned starts: they can no longer affect occupancy.
+	if m.startsHd > 2*m.cfg.FIFODepth {
+		n := copy(m.starts, m.starts[m.startsHd:])
+		m.starts = m.starts[:n]
+		m.startsHd = 0
 	}
 	m.state = WaitInput
 	return rec, true, nil

@@ -1,0 +1,80 @@
+// Package prof is the CLI-side profiling helper: it turns the conventional
+// -cpuprofile/-memprofile flag pair into a Session whose Stop method is safe
+// to call on every exit path. The simulator CLIs exit through os.Exit in
+// many places (flag errors, run failures), which skips deferred calls — so
+// Stop is idempotent and the mains route all exits through it, guaranteeing
+// the profile files are flushed and valid for `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session holds the active profile sinks. The zero value (or a nil *Session)
+// is inert: Stop is a no-op, so callers need no conditionals.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+	stopped bool
+}
+
+// Start begins CPU profiling to cpuPath and/or arranges a heap profile to be
+// written to memPath at Stop. Empty paths disable the respective profile; an
+// all-empty call returns an inert session.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop flushes and closes the active profiles. It is idempotent and nil-safe;
+// errors are reported on stderr rather than returned because every caller is
+// already on an exit path.
+func (s *Session) Stop() {
+	if s == nil || s.stopped {
+		return
+	}
+	s.stopped = true
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: cpu profile: %v\n", err)
+		}
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prof: mem profile: %v\n", err)
+			return
+		}
+		// An up-to-date heap picture: collect garbage so the profile shows
+		// live objects, not whatever the last GC cycle left behind.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: mem profile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: mem profile: %v\n", err)
+		}
+	}
+}
+
+// Exit stops the session and exits with code: the one-liner for CLI error
+// paths (`prof.Exit(s, 1)` instead of `os.Exit(1)`).
+func Exit(s *Session, code int) {
+	s.Stop()
+	os.Exit(code)
+}

@@ -19,6 +19,10 @@ type StreamDecoder struct {
 	prev     [numChunks]uint32
 	havePrev bool
 
+	// atomScratch backs the Atoms slice of packets returned by FeedByte,
+	// so atom decoding allocates nothing.
+	atomScratch [maxAtomsPerByte]bool
+
 	// Errors counts protocol violations (unexpected bytes). The decoder
 	// resynchronises at the next a-sync rather than failing hard, like
 	// the hardware.
@@ -41,31 +45,52 @@ const (
 // NewStreamDecoder returns a decoder at stream start.
 func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
 
-// Feed consumes one byte and returns zero or more completed packets.
+// Feed consumes one byte and returns zero or more completed packets. It is
+// a compat wrapper over FeedByte; the returned slice (and any Atoms payload)
+// is freshly allocated and owned by the caller. Hot paths should prefer
+// FeedByte.
 func (d *StreamDecoder) Feed(b byte) []Packet {
+	pkt, ok := d.FeedByte(b)
+	if !ok {
+		return nil
+	}
+	if pkt.Atoms != nil {
+		pkt.Atoms = append([]bool(nil), pkt.Atoms...)
+	}
+	return []Packet{pkt}
+}
+
+// FeedByte consumes one byte and returns the completed packet, if any. At
+// most one packet completes per byte, so this is the allocation-free form
+// of Feed.
+//
+// Zero-allocation contract: a PktAtoms packet's Atoms slice is a window
+// into the decoder's own scratch buffer and is only valid until the next
+// FeedByte call. Consume (or copy) it before feeding the next byte.
+func (d *StreamDecoder) FeedByte(b byte) (Packet, bool) {
 	d.Bytes++
 	// A-sync detection runs in every state: five zeros then 0x80 realigns
 	// the decoder unconditionally (that is its purpose).
 	if b == hdrAsyncZero {
 		d.zeros++
 		if d.state == stIdle && d.zeros <= asyncZeroCount {
-			return nil
+			return Packet{}, false
 		}
 		if d.state == stSkipToSync || d.zeros >= asyncZeroCount {
-			return nil
+			return Packet{}, false
 		}
 	}
 	if b == hdrAsyncTerm && d.zeros >= asyncZeroCount {
 		d.zeros = 0
 		d.reset()
-		return []Packet{{Type: PktASync}}
+		return Packet{Type: PktASync}, true
 	}
 	zeros := d.zeros
 	d.zeros = 0
 
 	switch d.state {
 	case stSkipToSync:
-		return nil
+		return Packet{}, false
 
 	case stIdle:
 		return d.headerByte(b, zeros)
@@ -74,23 +99,23 @@ func (d *StreamDecoder) Feed(b byte) []Packet {
 		d.buf[d.nbuf] = b
 		d.nbuf++
 		if d.nbuf < 5 {
-			return nil
+			return Packet{}, false
 		}
 		addr := uint32(d.buf[0]) | uint32(d.buf[1])<<8 | uint32(d.buf[2])<<16 | uint32(d.buf[3])<<24
 		info := d.buf[4]
 		d.state = stIdle
 		d.havePrev = false
-		return []Packet{{Type: PktISync, Addr: addr, Info: info}}
+		return Packet{Type: PktISync, Addr: addr, Info: info}, true
 
 	case stTimestamp:
 		d.buf[d.nbuf] = b
 		d.nbuf++
 		if d.nbuf < 4 {
-			return nil
+			return Packet{}, false
 		}
 		ts := uint32(d.buf[0]) | uint32(d.buf[1])<<8 | uint32(d.buf[2])<<16 | uint32(d.buf[3])<<24
 		d.state = stIdle
-		return []Packet{{Type: PktTimestamp, TS: ts}}
+		return Packet{Type: PktTimestamp, TS: ts}, true
 
 	case stBranch:
 		if d.nchunks < numChunks {
@@ -100,7 +125,7 @@ func (d *StreamDecoder) Feed(b byte) []Packet {
 			d.Errors++
 		}
 		if b&continuationBit != 0 {
-			return nil
+			return Packet{}, false
 		}
 		return d.finishBranch()
 
@@ -113,61 +138,60 @@ func (d *StreamDecoder) Feed(b byte) []Packet {
 		pkt := d.assembleBranch()
 		pkt.Exc = true
 		pkt.Kind = kind
-		return []Packet{pkt}
+		return pkt, true
 	}
-	return nil
+	return Packet{}, false
 }
 
 // headerByte classifies the first byte of a new packet.
-func (d *StreamDecoder) headerByte(b byte, zeros int) []Packet {
+func (d *StreamDecoder) headerByte(b byte, zeros int) (Packet, bool) {
 	if zeros > 0 && b != hdrAsyncZero {
 		// Zeros that did not complete an a-sync are a protocol error.
 		d.Errors += zeros
 	}
 	switch {
 	case b == hdrAsyncZero:
-		return nil // counted by caller
+		return Packet{}, false // counted by caller
 	case b == hdrISync:
 		d.state, d.nbuf = stISync, 0
-		return nil
+		return Packet{}, false
 	case b == hdrTimestamp:
 		d.state, d.nbuf = stTimestamp, 0
-		return nil
+		return Packet{}, false
 	case b == hdrOverflow:
 		d.havePrev = false
-		return []Packet{{Type: PktOverflow}}
+		return Packet{Type: PktOverflow}, true
 	case b&branchMarkerBit != 0:
 		d.exc = b&branchExcBit != 0
 		d.chunks = [numChunks]uint32{uint32(b>>2) & 0x1f}
 		d.nchunks = 1
 		if b&continuationBit != 0 {
 			d.state = stBranch
-			return nil
+			return Packet{}, false
 		}
 		return d.finishBranch()
 	case b&0x03 == atomMarker:
 		n := int(b>>2)&0x03 + 1
-		atoms := make([]bool, n)
 		for i := 0; i < n; i++ {
-			atoms[i] = b&(1<<(4+i)) != 0
+			d.atomScratch[i] = b&(1<<(4+i)) != 0
 		}
-		return []Packet{{Type: PktAtoms, Atoms: atoms}}
+		return Packet{Type: PktAtoms, Atoms: d.atomScratch[:n]}, true
 	default:
 		d.Errors++
 		d.state = stSkipToSync
-		return nil
+		return Packet{}, false
 	}
 }
 
 // finishBranch completes a branch packet when the last address byte had a
 // clear continuation bit.
-func (d *StreamDecoder) finishBranch() []Packet {
+func (d *StreamDecoder) finishBranch() (Packet, bool) {
 	if d.exc {
 		d.state = stBranchExc
-		return nil
+		return Packet{}, false
 	}
 	d.state = stIdle
-	return []Packet{d.assembleBranch()}
+	return d.assembleBranch(), true
 }
 
 // assembleBranch reconstructs the target address: received low chunks plus

@@ -123,12 +123,16 @@ func (e *Encoder) appendBranch(dst []byte, addr uint32, exc bool, kind cpu.Kind)
 
 // Start emits the stream prologue (a-sync + i-sync at addr), as the trace
 // unit does when tracing is enabled by the driver.
-func (e *Encoder) Start(addr uint32) []byte {
+func (e *Encoder) Start(addr uint32) []byte { return e.StartInto(nil, addr) }
+
+// StartInto appends the stream prologue to dst and returns the extended
+// slice, the allocation-free form of Start.
+func (e *Encoder) StartInto(dst []byte, addr uint32) []byte {
 	e.started = true
 	e.havePrev = false
 	e.sinceSync = 0
 	e.syncs++
-	dst := appendASync(nil)
+	dst = appendASync(dst)
 	return appendISync(dst, addr, 0)
 }
 
@@ -150,13 +154,18 @@ func (e *Encoder) Timestamp(cycles uint32) []byte {
 // Encode packetises one retired-branch event. The returned slice is freshly
 // allocated only when non-empty; not-taken branches usually just buffer an
 // atom bit and return nil until the atom byte fills.
-func (e *Encoder) Encode(ev cpu.BranchEvent) []byte {
+func (e *Encoder) Encode(ev cpu.BranchEvent) []byte { return e.EncodeInto(nil, ev) }
+
+// EncodeInto packetises one retired-branch event into dst (appending) and
+// returns the extended slice. This is the hot-path form: a caller that
+// recycles dst (`buf = enc.EncodeInto(buf[:0], ev)`) encodes every event
+// with zero allocations in steady state.
+func (e *Encoder) EncodeInto(dst []byte, ev cpu.BranchEvent) []byte {
 	if !e.started {
 		// Lazily start the stream at the first event's source address.
-		out := e.Start(ev.PC)
-		return append(out, e.Encode(ev)...)
+		dst = e.StartInto(dst, ev.PC)
+		return e.EncodeInto(dst, ev)
 	}
-	var dst []byte
 
 	emitAddr := ev.Taken && (e.cfg.BranchBroadcast || ev.Kind.IsIndirectKind())
 	switch {
@@ -184,3 +193,7 @@ func (e *Encoder) Encode(ev cpu.BranchEvent) []byte {
 
 // Flush drains any buffered atoms (used at end of trace windows).
 func (e *Encoder) Flush() []byte { return e.flushAtoms(nil) }
+
+// FlushInto is the allocation-free form of Flush: buffered atoms append to
+// dst and the extended slice is returned.
+func (e *Encoder) FlushInto(dst []byte) []byte { return e.flushAtoms(dst) }

@@ -173,11 +173,19 @@ func (p *Port) release(at sim.Time) {
 	p.buf = p.buf[:0]
 }
 
-// Take returns and clears the released-byte stream.
-func (p *Port) Take() []TimedByte {
-	out := p.out
-	p.out = nil
-	return out
+// Take returns and clears the released-byte stream. It is a compat wrapper
+// over TakeInto: the returned slice is freshly allocated and owned by the
+// caller. Hot paths should prefer TakeInto with a recycled buffer.
+func (p *Port) Take() []TimedByte { return p.TakeInto(nil) }
+
+// TakeInto appends the released-byte stream to dst, clears the internal
+// queue (retaining its capacity for reuse), and returns the extended slice.
+// A caller that recycles dst (`buf = port.TakeInto(buf[:0])`) drains the
+// port with zero steady-state allocations.
+func (p *Port) TakeInto(dst []TimedByte) []TimedByte {
+	dst = append(dst, p.out...)
+	p.out = p.out[:0]
+	return dst
 }
 
 // syncStallCycles is the CPU-side cost of generating a synchronisation

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"rtad/internal/obs"
@@ -9,30 +8,21 @@ import (
 
 // An event is one scheduled callback. Events at equal times fire in
 // scheduling order (seq), which keeps multi-domain runs deterministic.
+// Events are stored by value: the scheduler's containers reuse their
+// backing arrays across the run, so steady-state scheduling allocates
+// nothing (the vacated slots are the closure free-list).
 type event struct {
 	at  Time
 	seq int64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, scheduling sequence).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Scheduler is a single-threaded discrete-event executor. Hardware models
@@ -40,9 +30,26 @@ func (h *eventHeap) Pop() interface{} {
 // order. It is deliberately not goroutine-safe: RTL-style models are easier
 // to reason about (and to reproduce cycle-exact results with) when all state
 // mutation happens on one logical timeline.
+//
+// Internally the queue is split in two:
+//
+//   - lane, a FIFO ring holding events appended in non-decreasing time
+//     order. The dominant scheduling pattern — "post at now+Δ, pop
+//     immediately", and the monotone judgment-delivery bursts of
+//     core.Session — stays entirely in this lane: O(1) append, O(1) pop,
+//     no heap churn.
+//   - queue, a value-typed binary min-heap catching the rare out-of-order
+//     posting.
+//
+// Step always fires the globally earliest event (ties broken by scheduling
+// sequence), so the split is invisible to callers: event order is identical
+// to a single heap. Popped slots are cleared and reused, so a scheduler in
+// steady state performs zero allocations.
 type Scheduler struct {
 	now    Time
-	queue  eventHeap
+	queue  []event // min-heap ordered by event.before
+	lane   []event // FIFO ring of monotone-time events; laneHead is the front
+	laneHd int
 	seq    int64
 	fired  int64
 	halted bool
@@ -74,7 +81,7 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Fired() int64 { return s.fired }
 
 // Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int { return len(s.queue) + len(s.lane) - s.laneHd }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it
 // always indicates a model bug (a component reacting before its stimulus).
@@ -83,7 +90,15 @@ func (s *Scheduler) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	ev := event{at: t, seq: s.seq, fn: fn}
+	// Fast lane: events posted in non-decreasing time order form a FIFO
+	// that is already sorted (equal times fall back to seq order, which is
+	// append order). Only an out-of-order post pays for the heap.
+	if len(s.lane) == s.laneHd || t >= s.lane[len(s.lane)-1].at {
+		s.lane = append(s.lane, ev)
+		return
+	}
+	s.heapPush(ev)
 }
 
 // After schedules fn d after the current time.
@@ -102,13 +117,55 @@ func (s *Scheduler) Halt() { s.halted = true }
 // Halted reports whether Halt has been called.
 func (s *Scheduler) Halted() bool { return s.halted }
 
+// peek returns the earliest pending event without removing it.
+func (s *Scheduler) peek() (event, bool) {
+	laneOK := s.laneHd < len(s.lane)
+	heapOK := len(s.queue) > 0
+	switch {
+	case laneOK && heapOK:
+		if s.queue[0].before(s.lane[s.laneHd]) {
+			return s.queue[0], true
+		}
+		return s.lane[s.laneHd], true
+	case laneOK:
+		return s.lane[s.laneHd], true
+	case heapOK:
+		return s.queue[0], true
+	}
+	return event{}, false
+}
+
+// pop removes and returns the earliest pending event. The vacated slot is
+// cleared so the GC can reclaim the closure while the backing array is
+// retained for reuse.
+func (s *Scheduler) pop() event {
+	laneOK := s.laneHd < len(s.lane)
+	if laneOK && (len(s.queue) == 0 || s.lane[s.laneHd].before(s.queue[0])) {
+		e := s.lane[s.laneHd]
+		s.lane[s.laneHd].fn = nil
+		s.laneHd++
+		if s.laneHd == len(s.lane) {
+			s.lane = s.lane[:0]
+			s.laneHd = 0
+		} else if s.laneHd > 1024 && s.laneHd*2 >= len(s.lane) {
+			// Amortised compaction bounds lane memory when the ring never
+			// fully drains (a producer always one event ahead).
+			n := copy(s.lane, s.lane[s.laneHd:])
+			s.lane = s.lane[:n]
+			s.laneHd = 0
+		}
+		return e
+	}
+	return s.heapPop()
+}
+
 // Step executes the earliest pending event and returns true, or returns
 // false if the queue is empty or the scheduler is halted.
 func (s *Scheduler) Step() bool {
-	if s.halted || len(s.queue) == 0 {
+	if s.halted || s.Pending() == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
+	e := s.pop()
 	s.now = e.at
 	s.fired++
 	if s.obsEvents != nil {
@@ -129,10 +186,54 @@ func (s *Scheduler) Run() {
 // clock to the deadline (if it is in the future). Events scheduled beyond
 // the deadline remain queued.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for !s.halted && len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for !s.halted {
+		e, ok := s.peek()
+		if !ok || e.at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if !s.halted && s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// heapPush inserts ev into the overflow min-heap (sift-up).
+func (s *Scheduler) heapPush(ev event) {
+	s.queue = append(s.queue, ev)
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.queue[i].before(s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+// heapPop removes the overflow heap's minimum (sift-down).
+func (s *Scheduler) heapPop() event {
+	e := s.queue[0]
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue[n].fn = nil
+	s.queue = s.queue[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.queue[l].before(s.queue[min]) {
+			min = l
+		}
+		if r < n && s.queue[r].before(s.queue[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s.queue[i], s.queue[min] = s.queue[min], s.queue[i]
+		i = min
+	}
+	return e
 }

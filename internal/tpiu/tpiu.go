@@ -164,11 +164,19 @@ func (f *Formatter) emit() {
 	}
 }
 
-// Take returns and clears the emitted word stream.
-func (f *Formatter) Take() []TimedWord {
-	out := f.out
-	f.out = nil
-	return out
+// Take returns and clears the emitted word stream. It is a compat wrapper
+// over TakeInto: the returned slice is freshly allocated and owned by the
+// caller. Hot paths should prefer TakeInto with a recycled buffer.
+func (f *Formatter) Take() []TimedWord { return f.TakeInto(nil) }
+
+// TakeInto appends the emitted word stream to dst, clears the internal
+// queue (retaining its capacity for reuse), and returns the extended slice.
+// A caller that recycles dst (`buf = fmtr.TakeInto(buf[:0])`) drains the
+// formatter with zero steady-state allocations.
+func (f *Formatter) TakeInto(dst []TimedWord) []TimedWord {
+	dst = append(dst, f.out...)
+	f.out = f.out[:0]
+	return dst
 }
 
 // Deframer reassembles the payload byte stream from port words. It is the
@@ -193,6 +201,10 @@ func NewDeframer(sourceID byte) *Deframer {
 
 // Feed consumes one 32-bit port word and returns any completed frame's
 // payload bytes.
+//
+// Zero-allocation contract: the returned slice is a window into the
+// deframer's own frame buffer and is only valid until the next Feed call.
+// Consume (or copy) it before feeding the next word.
 func (d *Deframer) Feed(w uint32) []byte {
 	d.frame[d.nbuf] = byte(w)
 	d.frame[d.nbuf+1] = byte(w >> 8)
@@ -212,7 +224,5 @@ func (d *Deframer) Feed(w uint32) []byte {
 		d.BadFrames++
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.frame[1:1+n])
-	return out
+	return d.frame[1 : 1+n]
 }
