@@ -1,0 +1,157 @@
+// Command rtadd is the RTAD detection daemon: it pre-loads one or more
+// trained deployments, listens for rtad-wire sessions, and judges raw PTM
+// trace streams from remote clients in real time — the serving shape of
+// the paper's always-on monitor, where the monitored SoC is elsewhere and
+// only its CoreSight bytes reach the detector.
+//
+// Usage:
+//
+//	rtadd -bench 458.sjeng -models lstm
+//	rtadd -bench 458.sjeng,400.perlbench -models elm,lstm -addr :7433
+//	rtadd -load sjeng-lstm.dep -metrics-addr 127.0.0.1:8080
+//
+// Deployments come from -load files (saved by rtadsim -save) or are trained
+// at startup for every -bench × -models pair. SIGINT/SIGTERM drains
+// gracefully: in-flight sessions finish and deliver their summaries while
+// new connections receive an explicit "draining" rejection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rtad/internal/core"
+	"rtad/internal/obs"
+	"rtad/internal/serve"
+	"rtad/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7433", "listen address for rtad-wire sessions")
+		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
+		bench      = flag.String("bench", "", "comma-separated benchmarks to train deployments for at startup")
+		models     = flag.String("models", "lstm", "comma-separated models to train per benchmark: elm,lstm")
+		load       = flag.String("load", "", "comma-separated deployment files (rtadsim -save) to serve")
+
+		maxSessions  = flag.Int("max-sessions", 64, "concurrent session cap (excess hellos get an explicit busy rejection; 0 = unlimited)")
+		workers      = flag.Int("workers", 0, "fleet width shared by session runners (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 16, "per-session chunk queue depth")
+		shed         = flag.Bool("shed", false, "shed chunks when a session queue is full instead of blocking the socket (lossy)")
+		gap          = flag.Int64("gap", 0, "default replay pacing in CPU cycles per branch event (0 = built-in default)")
+		readTimeout  = flag.Duration("read-timeout", time.Minute, "max gap between client frames")
+		writeTimeout = flag.Duration("write-timeout", time.Minute, "max duration of one response write")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions before force-closing")
+	)
+	flag.Parse()
+
+	tel := obs.NewMetricsOnly()
+	if *metricsAdr != "" {
+		msrv, err := obs.Serve(*metricsAdr, tel.Reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer msrv.Close()
+		fmt.Printf("serving metrics at http://%s/metrics\n", msrv.Addr())
+	}
+
+	srv := serve.NewServer(serve.Config{
+		MaxSessions:  *maxSessions,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		Shed:         *shed,
+		GapCycles:    *gap,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		Telemetry:    tel,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+
+	if err := loadDeployments(srv, *load, *bench, *models); err != nil {
+		fatal(err)
+	}
+	keys := srv.Models()
+	if len(keys) == 0 {
+		fatal(fmt.Errorf("no deployments: give -bench (train at startup) or -load (saved files)"))
+	}
+	fmt.Printf("serving %d deployment(s): %s\n", len(keys), strings.Join(keys, ", "))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("listening for rtad-wire sessions on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("received %v, draining (timeout %v)...\n", sig, *drainTimeout)
+		srv.Shutdown(*drainTimeout)
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+	fmt.Println("drained, bye")
+}
+
+// loadDeployments registers -load files first, then trains every
+// -bench × -models pair not already covered.
+func loadDeployments(srv *serve.Server, loads, benches, models string) error {
+	for _, path := range splitList(loads) {
+		dep, err := core.LoadDeploymentFile(path)
+		if err != nil {
+			return err
+		}
+		srv.Deploy(dep)
+		fmt.Printf("loaded %v deployment for %s from %s\n", dep.Kind, dep.Profile.Name, path)
+	}
+	for _, b := range splitList(benches) {
+		p, ok := workload.ByName(b)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q (rtadsim lists the suite)", b)
+		}
+		for _, m := range splitList(models) {
+			var kind core.ModelKind
+			switch m {
+			case "elm":
+				kind = core.ModelELM
+			case "lstm":
+				kind = core.ModelLSTM
+			default:
+				return fmt.Errorf("unknown model %q (want elm or lstm)", m)
+			}
+			fmt.Printf("training %s detector on %s...\n", m, p.Name)
+			dep, err := core.Train(core.DefaultTrainConfig(p, kind))
+			if err != nil {
+				return err
+			}
+			srv.Deploy(dep)
+		}
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -143,9 +143,15 @@ func main() {
 		detInstr = 6_000_000 // syscall windows are sparse
 	}
 	fmt.Printf("running detection (%d instructions, %d CUs, burst %d)...\n", detInstr, *cus, *burst)
-	res, err := core.RunDetection(dep,
-		core.PipelineConfig{CUs: *cus, Telemetry: tel, Backend: *backend, Calibration: caltab},
-		core.AttackSpec{BurstLen: *burst, Seed: *seed, Mimicry: *mimic}, detInstr)
+	spec := core.AttackSpec{BurstLen: *burst, Seed: *seed, Mimicry: *mimic}
+	sess, err := core.Open(core.Deployments{dep},
+		core.WithConfig(core.PipelineConfig{CUs: *cus, Telemetry: tel, Backend: *backend, Calibration: caltab}),
+		core.WithAttack(spec.Resolve(detInstr)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		prof.Exit(ps, 1)
+	}
+	res, err := sess.Detect(detInstr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		prof.Exit(ps, 1)

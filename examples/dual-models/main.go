@@ -29,10 +29,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	dual, err := core.RunDualDetection(elm, lstm,
-		core.PipelineConfig{CUs: 5},
-		core.AttackSpec{Seed: 21},
-		10_000_000)
+	// Two deployments in one Open: the ELM takes lane 0, the LSTM lane 1,
+	// and their MCM front-ends time-multiplex the single engine.
+	const instr = 10_000_000
+	sess, err := core.Open(core.Deployments{elm, lstm},
+		core.WithConfig(core.PipelineConfig{CUs: 5}),
+		core.WithAttack(core.AttackSpec{Seed: 21}.Resolve(instr)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dual, err := sess.DetectDual(instr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,8 +52,13 @@ func main() {
 	show("LSTM", dual.LSTM)
 
 	// Contention check: the LSTM solo on the same victim.
-	solo, err := core.RunDetection(lstm, core.PipelineConfig{CUs: 5},
-		core.AttackSpec{Seed: 21}, 10_000_000)
+	soloSess, err := core.Open(core.Deployments{lstm},
+		core.WithConfig(core.PipelineConfig{CUs: 5}),
+		core.WithAttack(core.AttackSpec{Seed: 21}.Resolve(instr)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	solo, err := soloSess.Detect(instr)
 	if err != nil {
 		log.Fatal(err)
 	}

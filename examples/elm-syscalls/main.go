@@ -32,10 +32,14 @@ func main() {
 		{"MIAOW (1 CU)", 1},
 		{"ML-MIAOW (5 CUs)", 5},
 	} {
-		res, err := core.RunDetection(dep,
-			core.PipelineConfig{CUs: cfg.cus},
-			core.AttackSpec{Seed: 7},
-			12_000_000)
+		const instr = 12_000_000
+		s, err := core.Open(core.Deployments{dep},
+			core.WithConfig(core.PipelineConfig{CUs: cfg.cus}),
+			core.WithAttack(core.AttackSpec{Seed: 7}.Resolve(instr)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Detect(instr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -34,10 +34,14 @@ func main() {
 		{"random insertion (paper's emulation)", false},
 		{"mimicry segment replay", true},
 	} {
-		res, err := core.RunDetection(dep,
-			core.PipelineConfig{CUs: 5},
-			core.AttackSpec{Seed: 11, Mimicry: tc.mimicry},
-			4_000_000)
+		const instr = 4_000_000
+		s, err := core.Open(core.Deployments{dep},
+			core.WithConfig(core.PipelineConfig{CUs: 5}),
+			core.WithAttack(core.AttackSpec{Seed: 11, Mimicry: tc.mimicry}.Resolve(instr)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Detect(instr)
 		if err != nil {
 			log.Fatal(err)
 		}

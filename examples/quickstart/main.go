@@ -32,11 +32,16 @@ func main() {
 	// 3. Online phase: the victim runs with CoreSight tracing into the
 	// MLPU (5 trimmed ML-MIAOW compute units). Partway through, an
 	// attacker diverts control flow by replaying legitimate branches out
-	// of context.
-	res, err := core.RunDetection(dep,
-		core.PipelineConfig{CUs: 5},
-		core.AttackSpec{Seed: 42},
-		6_000_000)
+	// of context. Open is the single entry point: deployments plus
+	// options; Detect runs the session to completion.
+	const instr = 6_000_000
+	s, err := core.Open(core.Deployments{dep},
+		core.WithConfig(core.PipelineConfig{CUs: 5}),
+		core.WithAttack(core.AttackSpec{Seed: 42}.Resolve(instr)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Detect(instr)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,7 +33,8 @@ func main() {
 	fmt.Printf("trained LSTM on %s: %d windows, IGM table %d entries\n",
 		p.Name, dep.TrainWindows, dep.Mapper.Size())
 
-	s, err := core.NewSession(dep, core.PipelineConfig{CUs: 5, Stride: 512})
+	s, err := core.Open(core.Deployments{dep},
+		core.WithConfig(core.PipelineConfig{CUs: 5, Stride: 512}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -45,8 +45,10 @@ func main() {
 	port.Flush(lastAt)
 
 	// Stage 2: the output port releases held-back bytes to the TPIU.
+	// TakeInto is the hand-off API: it appends into a caller-owned buffer,
+	// so a loop recycling `released[:0]` drains without allocating.
 	fmtr := tpiu.NewFormatter(tpiu.Config{})
-	released := port.Take()
+	released := port.TakeInto(nil)
 	fmt.Printf("\n== PTM port release (threshold holds bytes back) ==\n")
 	fmt.Printf("  %d bytes released, first at %v, last at %v\n",
 		len(released), released[0].At, released[len(released)-1].At)
@@ -56,7 +58,7 @@ func main() {
 	fmtr.Flush(lastAt)
 
 	// Stage 3: TPIU frames on the 32-bit trace port.
-	words := fmtr.Take()
+	words := fmtr.TakeInto(nil)
 	fmt.Printf("\n== TPIU framing ==\n  %d frames, %d port words\n", fmtr.Frames(), len(words))
 
 	// Stage 4: IGM — TA decode, mapper filtering, vector generation.
@@ -72,7 +74,7 @@ func main() {
 	st := g.Stats()
 	fmt.Printf("  decoded %d packets, %d branch addresses; %d accepted, %d filtered\n",
 		st.Packets, st.Branches, st.Accepted, st.Filtered)
-	for _, v := range g.Take() {
+	for _, v := range g.TakeInto(nil) {
 		fmt.Printf("  vector #%d at %v: classes %v (completed by %#010x)\n",
 			v.Seq, v.At, v.Classes, v.Addr)
 	}

@@ -29,34 +29,15 @@ type DualResult struct {
 // RunDualDetection deploys both models on one MLPU and injects the attack
 // once; both detectors judge the same aberrant behaviour. It is a thin
 // wrapper over a dual streaming Session run to completion.
+//
+// Deprecated: use Open(Deployments{elmDep, lstmDep}, WithConfig(cfg),
+// WithAttack(aspec.Resolve(instr))) followed by Session.DetectDual(instr).
 func RunDualDetection(elmDep, lstmDep *Deployment, cfg PipelineConfig, aspec AttackSpec, instr int64) (*DualResult, error) {
-	s, err := NewDualSession(elmDep, lstmDep, cfg)
+	s, err := Open(Deployments{elmDep, lstmDep}, WithConfig(cfg), WithAttack(aspec.Resolve(instr)))
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Inject(aspec.withDefaults(instr)); err != nil {
-		return nil, err
-	}
-	if _, err := s.Step(instr); err != nil {
-		return nil, err
-	}
-	if err := s.Drain(); err != nil {
-		return nil, err
-	}
-	if !s.AttackFired() {
-		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
-	}
-
-	out := &DualResult{SharedBusyAt: s.SharedBusyAt()}
-	out.ELM, err = s.LaneSummary(0)
-	if err != nil {
-		return nil, fmt.Errorf("core: dual ELM: %w", err)
-	}
-	out.LSTM, err = s.LaneSummary(1)
-	if err != nil {
-		return nil, fmt.Errorf("core: dual LSTM: %w", err)
-	}
-	return out, nil
+	return s.DetectDual(instr)
 }
 
 // summarise builds a DetectionResult from a finished pipeline.

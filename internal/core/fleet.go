@@ -16,6 +16,18 @@ import (
 type Fleet struct {
 	workers int
 	tel     *obs.Telemetry
+
+	// The persistent submission path (Go/Wait). Workers start lazily on
+	// the first Go and live until Close, so long-lived servers (rtadd) and
+	// one-shot grids (cmd/experiments) share one pool implementation.
+	mu   sync.Mutex
+	jobs chan func()
+	next int64 // submission index, for deterministic first-error reporting
+	wg   sync.WaitGroup
+
+	errMu  sync.Mutex
+	err    error
+	errSeq int64
 }
 
 // NewFleet returns a fleet of the given width; workers <= 0 sizes it to
@@ -38,40 +50,79 @@ func (f *Fleet) Workers() int { return f.workers }
 // single-session run for tracing.
 func (f *Fleet) Observe(tel *obs.Telemetry) { f.tel = tel }
 
-// Run executes fn(0..n-1) across the worker pool and returns the
-// lowest-index error (every index runs regardless of other indices'
-// failures, keeping error reporting deterministic under concurrency).
-func (f *Fleet) Run(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	w := f.workers
-	if w > n {
-		w = n
-	}
-	errs := make([]error, n)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+// Go submits one job to the worker pool, starting the workers on first
+// use. Jobs run concurrently up to the fleet width; a submission beyond
+// width+queue blocks until a worker frees up — the natural admission
+// queue for servers that bound in-flight work upstream (see
+// internal/serve). Every submitted job runs regardless of other jobs'
+// failures; the first error in *submission order* is reported by the next
+// Wait, keeping error reporting deterministic under concurrency.
+func (f *Fleet) Go(fn func() error) {
+	f.mu.Lock()
+	if f.jobs == nil {
+		f.jobs = make(chan func(), f.workers)
+		for k := 0; k < f.workers; k++ {
+			go func() {
+				for job := range f.jobs {
+					job()
+				}
+			}()
 		}
 	}
-	return nil
+	seq := f.next
+	f.next++
+	jobs := f.jobs
+	f.mu.Unlock()
+
+	f.wg.Add(1)
+	jobs <- func() {
+		defer f.wg.Done()
+		if err := fn(); err != nil {
+			f.errMu.Lock()
+			if f.err == nil || seq < f.errSeq {
+				f.err, f.errSeq = err, seq
+			}
+			f.errMu.Unlock()
+		}
+	}
+}
+
+// Wait blocks until every job submitted so far has finished and returns
+// the error of the earliest-submitted failing job (nil if all succeeded),
+// clearing it for the next batch. One logical stream of work at a time:
+// interleaving Go/Wait batches from multiple goroutines gives each Wait an
+// arbitrary batch boundary, though every job still runs exactly once.
+func (f *Fleet) Wait() error {
+	f.wg.Wait()
+	f.errMu.Lock()
+	err := f.err
+	f.err = nil
+	f.errMu.Unlock()
+	return err
+}
+
+// Close stops the worker goroutines after in-flight jobs finish. Go after
+// Close restarts the pool; a nil or never-used fleet is a no-op.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	jobs := f.jobs
+	f.jobs = nil
+	f.mu.Unlock()
+	if jobs != nil {
+		close(jobs)
+	}
+}
+
+// Run executes fn(0..n-1) across the worker pool and returns the
+// lowest-index error (every index runs regardless of other indices'
+// failures, keeping error reporting deterministic under concurrency). It
+// is Go/Wait over the index range.
+func (f *Fleet) Run(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		i := i
+		f.Go(func() error { return fn(i) })
+	}
+	return f.Wait()
 }
 
 // Job is one detection run for Detect: a trained deployment (shared

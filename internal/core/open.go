@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"rtad/internal/axi"
+	"rtad/internal/cpu"
+	"rtad/internal/mcm"
+	"rtad/internal/obs"
+	"rtad/internal/sim"
+)
+
+// Deployments names the model set a session deploys against one victim:
+// one deployment for a single-lane session, or two — the ELM in lane 0 and
+// the LSTM in lane 1 — for a dual session where both detectors
+// time-multiplex one compute engine (§II's multi-model deployment).
+type Deployments []*Deployment
+
+// Option configures Open. Options compose left to right; later options win
+// where they overlap (e.g. a WithLaneConfig overrides WithConfig for that
+// lane).
+type Option func(*openConfig)
+
+type openConfig struct {
+	base    PipelineConfig
+	lane    map[int]PipelineConfig
+	laneSet map[int]bool
+	tel     *obs.Telemetry
+	telSet  bool
+	attack  *AttackSpec
+	replay  bool
+	gap     int64
+}
+
+// WithConfig sets the base pipeline configuration applied to every lane.
+func WithConfig(cfg PipelineConfig) Option {
+	return func(o *openConfig) { o.base = cfg }
+}
+
+// WithLaneConfig overrides the pipeline configuration of one lane (0-based),
+// letting dual sessions diverge per lane — most usefully in Backend, running
+// e.g. the ELM natively while the LSTM stays on the cycle-accurate engine.
+func WithLaneConfig(lane int, cfg PipelineConfig) Option {
+	return func(o *openConfig) {
+		if o.lane == nil {
+			o.lane = map[int]PipelineConfig{}
+			o.laneSet = map[int]bool{}
+		}
+		o.lane[lane] = cfg
+		o.laneSet[lane] = true
+	}
+}
+
+// WithBackend selects the inference backend for every lane
+// (kernels.BackendGPU, BackendNative, BackendNativeCalibrated); it applies
+// on top of WithConfig. Judgment streams are bit-identical across backends.
+func WithBackend(name string) Option {
+	return func(o *openConfig) { o.base.Backend = name }
+}
+
+// WithTelemetry attaches the observability bundle to the session: scheduler
+// and victim gauges, per-stage spans and queue counters, and the judgment
+// latency histogram. It overrides any Telemetry set on the pipeline configs.
+func WithTelemetry(tel *obs.Telemetry) Option {
+	return func(o *openConfig) { o.tel = tel; o.telSet = true }
+}
+
+// WithAttack arms the attack at open, exactly as Session.Inject would before
+// the first Step: spec is taken literally (BurstLen must be positive; use
+// AttackSpec.Resolve to apply the classic experiment defaults first).
+func WithAttack(spec AttackSpec) Option {
+	return func(o *openConfig) { o.attack = &spec }
+}
+
+// WithTraceInput switches the session's front-end from an executing victim
+// CPU to a raw PTM trace stream fed via Session.FeedTrace — the serving
+// shape, where the monitored SoC is elsewhere and only its CoreSight bytes
+// reach the detector. Branch retirements are re-synthesised from the stream
+// at a fixed pacing of gapCycles CPU cycles per branch event (plus any
+// backpressure stall the trace path reports); gapCycles <= 0 picks
+// DefaultReplayGap. Replay is deterministic: the same byte stream yields a
+// bit-identical judgment stream however it is chunked.
+func WithTraceInput(gapCycles int64) Option {
+	return func(o *openConfig) { o.replay = true; o.gap = gapCycles }
+}
+
+// Resolve applies the classic experiment defaults to an attack spec for a
+// run of instr instructions: a 32768-event burst and a trigger at 1/40 of
+// the expected taken transfers. It is the defaulting RunDetection always
+// applied, exported so Open(WithAttack(spec.Resolve(instr))) reproduces the
+// batch wrappers exactly.
+func (a AttackSpec) Resolve(instr int64) AttackSpec { return a.withDefaults(instr) }
+
+// Open is the single entry point for detection sessions: it deploys deps
+// (one lane, or ELM+LSTM dual lanes) on the simulated MPSoC and returns a
+// streaming Session. With no options it behaves like the deprecated
+// NewSession/NewDualSession constructors; options select per-lane configs,
+// backends, telemetry, attack arming, and the trace-replay front-end.
+//
+//	s, err := core.Open(core.Deployments{dep},
+//		core.WithConfig(core.PipelineConfig{CUs: 5}),
+//		core.WithAttack(spec.Resolve(instr)))
+//	res, err := s.Detect(instr)
+func Open(deps Deployments, opts ...Option) (*Session, error) {
+	var o openConfig
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var (
+		s   *Session
+		err error
+	)
+	switch len(deps) {
+	case 1:
+		s, err = openSingle(deps[0], &o)
+	case 2:
+		s, err = openDual(deps[0], deps[1], &o)
+	default:
+		return nil, fmt.Errorf("core: Open needs 1 deployment (single lane) or 2 (ELM+LSTM dual), got %d", len(deps))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.attack != nil {
+		if err := s.Inject(*o.attack); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// laneConfig resolves lane i's pipeline configuration from the options.
+func (o *openConfig) laneConfig(i int) PipelineConfig {
+	if o.laneSet[i] {
+		return o.lane[i]
+	}
+	return o.base
+}
+
+// frontEnd attaches the victim front-end: the executing CPU model, or the
+// trace-replay decoder when WithTraceInput was given.
+func (s *Session) frontEnd(dep *Deployment, o *openConfig) error {
+	if o.replay {
+		s.front = newTraceFront(o.gap)
+		return nil
+	}
+	prog, err := dep.Profile.Generate()
+	if err != nil {
+		return err
+	}
+	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
+	return nil
+}
+
+func openSingle(dep *Deployment, o *openConfig) (*Session, error) {
+	cfg := o.laneConfig(0)
+	if o.telSet {
+		cfg.Telemetry = o.tel
+	}
+	pipe, err := NewPipeline(dep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		sched: sim.NewScheduler(),
+		fan:   &fanSink{pipes: []*Pipeline{pipe}},
+		lanes: []*lane{{dep: dep, pipe: pipe, cfg: cfg.withDefaults(dep.Kind)}},
+		pool:  dep.Pool,
+	}
+	s.swap = &swapSink{next: s.fan}
+	if err := s.frontEnd(dep, o); err != nil {
+		return nil, err
+	}
+	s.observe(cfg.Telemetry)
+	return s, nil
+}
+
+func openDual(elmDep, lstmDep *Deployment, o *openConfig) (*Session, error) {
+	if elmDep.Kind != ModelELM || lstmDep.Kind != ModelLSTM {
+		return nil, fmt.Errorf("core: dual deployment needs one ELM (lane 0) and one LSTM (lane 1)")
+	}
+	if elmDep.Profile.Name != lstmDep.Profile.Name {
+		return nil, fmt.Errorf("core: deployments monitor different benchmarks (%s vs %s)",
+			elmDep.Profile.Name, lstmDep.Profile.Name)
+	}
+	bus, err := axi.RTADTopology()
+	if err != nil {
+		return nil, err
+	}
+	shared := mcm.NewSharedEngine()
+
+	elmCfg, lstmCfg := o.laneConfig(0), o.laneConfig(1)
+	tel := elmCfg.Telemetry
+	if tel == nil {
+		tel = lstmCfg.Telemetry
+	}
+	if o.telSet {
+		tel = o.tel
+	}
+	elmCfg = elmCfg.withDefaults(ModelELM)
+	elmCfg.SharedEngine, elmCfg.Bus = shared, bus
+	elmCfg.Telemetry = tel.Lane("elm")
+	lstmCfg = lstmCfg.withDefaults(ModelLSTM)
+	lstmCfg.SharedEngine, lstmCfg.Bus = shared, bus
+	lstmCfg.Telemetry = tel.Lane("lstm")
+	elmPipe, err := NewPipeline(elmDep, elmCfg)
+	if err != nil {
+		return nil, err
+	}
+	lstmPipe, err := NewPipeline(lstmDep, lstmCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		sched: sim.NewScheduler(),
+		fan:   &fanSink{pipes: []*Pipeline{elmPipe, lstmPipe}},
+		lanes: []*lane{
+			{dep: elmDep, pipe: elmPipe, cfg: elmCfg},
+			{dep: lstmDep, pipe: lstmPipe, cfg: lstmCfg},
+		},
+		pool:   lstmDep.Pool,
+		shared: shared,
+	}
+	s.swap = &swapSink{next: s.fan}
+	if err := s.frontEnd(elmDep, o); err != nil {
+		return nil, err
+	}
+	s.observe(tel)
+	return s, nil
+}
+
+// Detect drives the session to completion as the batch experiments do:
+// Step(instr), Drain, verify the armed attack fired, and return lane 0's
+// DetectionResult. The attack must have been armed (WithAttack or Inject).
+func (s *Session) Detect(instr int64) (*DetectionResult, error) {
+	if _, err := s.Step(instr); err != nil {
+		return nil, err
+	}
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
+	if !s.AttackFired() {
+		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
+	}
+	res, err := s.Summary()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w (all post-injection vectors dropped?)", err)
+	}
+	return res, nil
+}
+
+// DetectDual is Detect for dual sessions: both lanes' results plus the
+// shared-engine contention horizon.
+func (s *Session) DetectDual(instr int64) (*DualResult, error) {
+	if _, err := s.Step(instr); err != nil {
+		return nil, err
+	}
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
+	if !s.AttackFired() {
+		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
+	}
+	out := &DualResult{SharedBusyAt: s.SharedBusyAt()}
+	var err error
+	out.ELM, err = s.LaneSummary(0)
+	if err != nil {
+		return nil, fmt.Errorf("core: dual ELM: %w", err)
+	}
+	out.LSTM, err = s.LaneSummary(1)
+	if err != nil {
+		return nil, fmt.Errorf("core: dual LSTM: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"rtad/internal/cpu"
+	"rtad/internal/kernels"
+	"rtad/internal/ptm"
+)
+
+// captureStream records a benchmark run as the raw branch-broadcast PTM
+// byte stream, the input of trace-replay sessions.
+func captureStream(t *testing.T, bench string, instr int64) []byte {
+	t.Helper()
+	dep := trainLSTMDeployment(t, bench) // profile lookup is validated here
+	prog, err := dep.Profile.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: true})
+	var stream []byte
+	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: cpu.SinkFunc(func(ev cpu.BranchEvent) int64 {
+		stream = append(stream, enc.Encode(ev)...)
+		return 0
+	})})
+	if _, err := c.Run(instr); err != nil {
+		t.Fatal(err)
+	}
+	return append(stream, enc.Flush()...)
+}
+
+// TestOpenMatchesRunDetection: the options path must reproduce the classic
+// batch wrapper bit for bit — same judgments, same detection summary.
+func TestOpenMatchesRunDetection(t *testing.T) {
+	dep := trainLSTMDeployment(t, "458.sjeng")
+	const instr = 2_000_000
+	spec := AttackSpec{BurstLen: 16384, Seed: 3}
+
+	want, err := RunDetection(dep, PipelineConfig{CUs: 5}, spec, instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Deployments{dep},
+		WithConfig(PipelineConfig{CUs: 5}),
+		WithAttack(spec.Resolve(instr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Detect(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InjectTime != want.InjectTime || got.Latency != want.Latency ||
+		got.MeanLatency != want.MeanLatency || got.IRQTime != want.IRQTime ||
+		got.Judged != want.Judged || got.Dropped != want.Dropped ||
+		got.Detected != want.Detected {
+		t.Fatalf("Open path diverged from RunDetection:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestOpenBackendOption: WithBackend routes every lane and stays
+// bit-identical to the config-field spelling.
+func TestOpenBackendOption(t *testing.T) {
+	dep := trainLSTMDeployment(t, "458.sjeng")
+	const instr = 2_000_000
+	spec := AttackSpec{BurstLen: 16384, Seed: 3}
+	run := func(opts ...Option) *DetectionResult {
+		s, err := Open(Deployments{dep}, append(opts, WithAttack(spec.Resolve(instr)))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Detect(instr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	viaOption := run(WithConfig(PipelineConfig{CUs: 5}), WithBackend(kernels.BackendNative))
+	viaField := run(WithConfig(PipelineConfig{CUs: 5, Backend: kernels.BackendNative}))
+	if viaOption.Latency != viaField.Latency || viaOption.Judged != viaField.Judged {
+		t.Fatalf("WithBackend diverged from PipelineConfig.Backend: %+v vs %+v", viaOption, viaField)
+	}
+}
+
+// TestOpenRejectsBadDeployments covers the arity and dual-lane validation.
+func TestOpenRejectsBadDeployments(t *testing.T) {
+	dep := trainLSTMDeployment(t, "458.sjeng")
+	if _, err := Open(Deployments{}); err == nil {
+		t.Error("Open accepted zero deployments")
+	}
+	if _, err := Open(Deployments{dep, dep}); err == nil {
+		t.Error("Open accepted LSTM in the ELM lane")
+	}
+	if _, err := Open(Deployments{dep}, WithAttack(AttackSpec{})); err == nil {
+		t.Error("Open accepted an attack with no burst length")
+	}
+}
+
+// TestFeedTraceChunkingInvariance: a replayed stream yields bit-identical
+// judgments whether fed byte-by-byte or in one call — the property the
+// serving layer's framing relies on.
+func TestFeedTraceChunkingInvariance(t *testing.T) {
+	dep := trainLSTMDeployment(t, "458.sjeng")
+	stream := captureStream(t, "458.sjeng", 600_000)
+
+	run := func(chunk int) []Judged {
+		s, err := Open(Deployments{dep}, WithTraceInput(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(stream); off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if err := s.FeedTrace(stream[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Results()
+	}
+	whole := run(len(stream))
+	byteAtATime := run(1)
+	if len(whole) == 0 {
+		t.Fatal("no judgments from replay; lengthen the capture")
+	}
+	if len(whole) != len(byteAtATime) {
+		t.Fatalf("chunking changed judgment count: %d vs %d", len(whole), len(byteAtATime))
+	}
+	for i := range whole {
+		a, b := whole[i], byteAtATime[i]
+		if a.Vector.Seq != b.Vector.Seq || a.Rec.Done != b.Rec.Done ||
+			a.FinalRetire != b.FinalRetire || a.Rec.Judgment != b.Rec.Judgment {
+			t.Fatalf("judgment %d depends on chunking", i)
+		}
+	}
+	bytes, events, decErrs := func() (int64, int64, int) {
+		s, err := Open(Deployments{dep}, WithTraceInput(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FeedTrace(stream); err != nil {
+			t.Fatal(err)
+		}
+		return s.ReplayStats()
+	}()
+	if bytes != int64(len(stream)) || events == 0 || decErrs != 0 {
+		t.Fatalf("ReplayStats = (%d, %d, %d) for a %d-byte clean stream", bytes, events, decErrs, len(stream))
+	}
+}
+
+// TestTraceInputFrontEndExclusivity: Step and FeedTrace belong to different
+// front-ends and must reject each other's sessions.
+func TestTraceInputFrontEndExclusivity(t *testing.T) {
+	dep := trainLSTMDeployment(t, "458.sjeng")
+	replay, err := Open(Deployments{dep}, WithTraceInput(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.Step(1000); err == nil {
+		t.Error("Step accepted a trace-input session")
+	}
+	live, err := Open(Deployments{dep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.FeedTrace([]byte{0x00}); err == nil {
+		t.Error("FeedTrace accepted a live-CPU session")
+	}
+	if live.Instret() != 0 || replay.Instret() != 0 {
+		t.Error("fresh sessions report nonzero instret")
+	}
+	if replay.Halted() {
+		t.Error("trace-input session reports Halted")
+	}
+}
+
+// TestReplayAttackInjection: the injector splices the burst into a replayed
+// stream exactly as it does into a live run, and the summary works.
+func TestReplayAttackInjection(t *testing.T) {
+	dep := trainLSTMDeployment(t, "458.sjeng")
+	stream := captureStream(t, "458.sjeng", 2_000_000)
+	s, err := Open(Deployments{dep}, WithTraceInput(0),
+		WithAttack(AttackSpec{TriggerBranch: 1000, BurstLen: 16384, Seed: 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FeedTrace(stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AttackFired() {
+		t.Fatal("attack never fired in the replayed stream")
+	}
+	res, err := s.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.First == nil || res.Latency <= 0 {
+		t.Fatalf("replay detection summary implausible: %+v", res)
+	}
+	if s.MCMStats().Accepted == 0 {
+		t.Fatal("MCMStats reports nothing accepted")
+	}
+}

@@ -354,26 +354,13 @@ func (a AttackSpec) withDefaults(instr int64) AttackSpec {
 // RunDetection trains nothing: it takes an existing deployment, runs the
 // victim with the attack injected, and measures the judgment latency. It is
 // a thin wrapper over a single streaming Session run to completion.
+//
+// Deprecated: use Open(Deployments{dep}, WithConfig(pcfg),
+// WithAttack(aspec.Resolve(instr))) followed by Session.Detect(instr).
 func RunDetection(dep *Deployment, pcfg PipelineConfig, aspec AttackSpec, instr int64) (*DetectionResult, error) {
-	s, err := NewSession(dep, pcfg)
+	s, err := Open(Deployments{dep}, WithConfig(pcfg), WithAttack(aspec.Resolve(instr)))
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Inject(aspec.withDefaults(instr)); err != nil {
-		return nil, err
-	}
-	if _, err := s.Step(instr); err != nil {
-		return nil, err
-	}
-	if err := s.Drain(); err != nil {
-		return nil, err
-	}
-	if !s.AttackFired() {
-		return nil, fmt.Errorf("core: attack never fired in %d instructions", instr)
-	}
-	res, err := s.Summary()
-	if err != nil {
-		return nil, fmt.Errorf("core: %w (all post-injection vectors dropped?)", err)
-	}
-	return res, nil
+	return s.Detect(instr)
 }

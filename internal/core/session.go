@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"rtad/internal/attack"
-	"rtad/internal/axi"
 	"rtad/internal/cpu"
 	"rtad/internal/mcm"
 	"rtad/internal/obs"
@@ -27,7 +26,10 @@ import (
 // A session itself is not goroutine-safe — one timeline, one goroutine.
 type Session struct {
 	sched *sim.Scheduler
+	// Exactly one front-end drives the sink chain: cpu executes the victim
+	// program (Step), front replays a raw PTM byte stream (FeedTrace).
 	cpu   *cpu.CPU
+	front *traceFront
 	swap  *swapSink
 	fan   *fanSink
 	lanes []*lane
@@ -97,25 +99,10 @@ func (f *fanSink) BranchRetired(ev cpu.BranchEvent) int64 {
 }
 
 // NewSession builds a single-model streaming session over dep.
+//
+// Deprecated: use Open(Deployments{dep}, WithConfig(cfg)).
 func NewSession(dep *Deployment, cfg PipelineConfig) (*Session, error) {
-	prog, err := dep.Profile.Generate()
-	if err != nil {
-		return nil, err
-	}
-	pipe, err := NewPipeline(dep, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s := &Session{
-		sched: sim.NewScheduler(),
-		fan:   &fanSink{pipes: []*Pipeline{pipe}},
-		lanes: []*lane{{dep: dep, pipe: pipe, cfg: cfg.withDefaults(dep.Kind)}},
-		pool:  dep.Pool,
-	}
-	s.swap = &swapSink{next: s.fan}
-	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
-	s.observe(cfg.Telemetry)
-	return s, nil
+	return Open(Deployments{dep}, WithConfig(cfg))
 }
 
 // observe attaches the telemetry bundle to the session-level pieces (the
@@ -137,10 +124,14 @@ func (s *Session) sample() {
 	if s.tel == nil {
 		return
 	}
-	s.obsCycles.Set(s.cpu.Cycles())
-	s.obsInstret.Set(s.cpu.Instret())
-	s.obsStall.Set(s.cpu.StallCycles())
-	s.obsInstrCyc.Set(s.cpu.InstrumentationCycles())
+	if s.cpu != nil {
+		s.obsCycles.Set(s.cpu.Cycles())
+		s.obsInstret.Set(s.cpu.Instret())
+		s.obsStall.Set(s.cpu.StallCycles())
+		s.obsInstrCyc.Set(s.cpu.InstrumentationCycles())
+	} else {
+		s.obsCycles.Set(s.front.cycle)
+	}
 	for _, ln := range s.lanes {
 		tel := ln.cfg.Telemetry
 		if tel == nil {
@@ -158,68 +149,20 @@ func (s *Session) sample() {
 // NewDualSession deploys both models on one MLPU against one victim: each
 // lane has its own IGM context, and the two MCM front-ends time-multiplex
 // one compute engine over one interconnect. Lane 0 is the ELM, lane 1 the
-// LSTM. Both lanes take the same configuration; NewDualSessionLanes lets
-// them differ (e.g. mixed inference backends).
+// LSTM.
+//
+// Deprecated: use Open(Deployments{elmDep, lstmDep}, WithConfig(cfg)).
 func NewDualSession(elmDep, lstmDep *Deployment, cfg PipelineConfig) (*Session, error) {
-	return NewDualSessionLanes(elmDep, lstmDep, cfg, cfg)
+	return Open(Deployments{elmDep, lstmDep}, WithConfig(cfg))
 }
 
-// NewDualSessionLanes is NewDualSession with per-lane pipeline configs, so
-// the two lanes may diverge — most usefully in Backend, running e.g. the
-// ELM natively while the LSTM stays on the cycle-accurate engine. The
-// shared-engine token and interconnect are still wired here (any
-// SharedEngine/Bus set on the configs is replaced), and the base telemetry
-// bundle is taken per lane from each config.
+// NewDualSessionLanes is NewDualSession with per-lane pipeline configs.
+//
+// Deprecated: use Open(Deployments{elmDep, lstmDep},
+// WithLaneConfig(0, elmCfg), WithLaneConfig(1, lstmCfg)).
 func NewDualSessionLanes(elmDep, lstmDep *Deployment, elmCfg, lstmCfg PipelineConfig) (*Session, error) {
-	if elmDep.Kind != ModelELM || lstmDep.Kind != ModelLSTM {
-		return nil, fmt.Errorf("core: RunDualDetection needs one ELM and one LSTM deployment")
-	}
-	if elmDep.Profile.Name != lstmDep.Profile.Name {
-		return nil, fmt.Errorf("core: deployments monitor different benchmarks (%s vs %s)",
-			elmDep.Profile.Name, lstmDep.Profile.Name)
-	}
-	prog, err := elmDep.Profile.Generate()
-	if err != nil {
-		return nil, err
-	}
-	bus, err := axi.RTADTopology()
-	if err != nil {
-		return nil, err
-	}
-	shared := mcm.NewSharedEngine()
-
-	tel := elmCfg.Telemetry
-	if tel == nil {
-		tel = lstmCfg.Telemetry
-	}
-	elmCfg = elmCfg.withDefaults(ModelELM)
-	elmCfg.SharedEngine, elmCfg.Bus = shared, bus
-	elmCfg.Telemetry = tel.Lane("elm")
-	lstmCfg = lstmCfg.withDefaults(ModelLSTM)
-	lstmCfg.SharedEngine, lstmCfg.Bus = shared, bus
-	lstmCfg.Telemetry = tel.Lane("lstm")
-	elmPipe, err := NewPipeline(elmDep, elmCfg)
-	if err != nil {
-		return nil, err
-	}
-	lstmPipe, err := NewPipeline(lstmDep, lstmCfg)
-	if err != nil {
-		return nil, err
-	}
-	s := &Session{
-		sched: sim.NewScheduler(),
-		fan:   &fanSink{pipes: []*Pipeline{elmPipe, lstmPipe}},
-		lanes: []*lane{
-			{dep: elmDep, pipe: elmPipe, cfg: elmCfg},
-			{dep: lstmDep, pipe: lstmPipe, cfg: lstmCfg},
-		},
-		pool:   lstmDep.Pool,
-		shared: shared,
-	}
-	s.swap = &swapSink{next: s.fan}
-	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
-	s.observe(tel)
-	return s, nil
+	return Open(Deployments{elmDep, lstmDep},
+		WithLaneConfig(0, elmCfg), WithLaneConfig(1, lstmCfg))
 }
 
 // Inject arms the attack. Called before the first Step it reproduces the
@@ -252,7 +195,7 @@ func (s *Session) Inject(spec AttackSpec) error {
 	s.inj = inj
 	if s.attackTrack != nil {
 		s.attackTrack.Instant("attack_armed",
-			int64(sim.CPUClock.Duration(s.cpu.Cycles())),
+			int64(sim.CPUClock.Duration(s.frontCycles())),
 			map[string]any{"trigger_branch": spec.TriggerBranch, "burst_len": spec.BurstLen})
 	}
 	return nil
@@ -267,6 +210,9 @@ func (s *Session) Step(maxInstr int64) (int64, error) {
 	}
 	if s.drained {
 		return 0, fmt.Errorf("core: session already drained")
+	}
+	if s.cpu == nil {
+		return 0, fmt.Errorf("core: session has a trace-input front-end (feed it with FeedTrace)")
 	}
 	n, err := s.cpu.Run(maxInstr)
 	s.stepped += n
@@ -286,7 +232,7 @@ func (s *Session) Drain() error {
 	if s.drained || s.err != nil {
 		return s.err
 	}
-	end := sim.CPUClock.Duration(s.cpu.Cycles())
+	end := sim.CPUClock.Duration(s.frontCycles())
 	for _, ln := range s.lanes {
 		ln.pipe.Flush(end)
 	}
@@ -378,14 +324,30 @@ func (s *Session) Now() sim.Time { return s.sched.Now() }
 // that want to co-schedule their own observation events.
 func (s *Session) Scheduler() *sim.Scheduler { return s.sched }
 
-// Cycles is the victim CPU's elapsed cycle count.
-func (s *Session) Cycles() int64 { return s.cpu.Cycles() }
+// Cycles is the victim's elapsed cycle count: executed cycles for a live
+// CPU, the synthesized replay clock for a trace-input session.
+func (s *Session) Cycles() int64 { return s.frontCycles() }
 
-// Instret is the victim's retired-instruction count.
-func (s *Session) Instret() int64 { return s.cpu.Instret() }
+// Instret is the victim's retired-instruction count (0 for trace-input
+// sessions — the stream carries branches, not every instruction).
+func (s *Session) Instret() int64 {
+	if s.cpu == nil {
+		return 0
+	}
+	return s.cpu.Instret()
+}
 
-// Halted reports whether the victim hit HALT.
-func (s *Session) Halted() bool { return s.cpu.Halted() }
+// Halted reports whether the victim hit HALT (never for trace-input
+// sessions — the stream simply ends).
+func (s *Session) Halted() bool { return s.cpu != nil && s.cpu.Halted() }
+
+// MCMStats exposes lane 0's module counters (drops, occupancy) — the
+// pipeline health figures a summary needs even when no attack was armed
+// (where Summary, which reconstructs the detection experiment, errors).
+func (s *Session) MCMStats() mcm.Stats { return s.LaneMCMStats(0) }
+
+// LaneMCMStats exposes lane i's module counters.
+func (s *Session) LaneMCMStats(i int) mcm.Stats { return s.lanes[i].pipe.MCMStats() }
 
 // AttackFired reports whether an armed attack has triggered.
 func (s *Session) AttackFired() bool { return s.inj != nil && s.inj.Fired() }

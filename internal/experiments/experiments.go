@@ -395,11 +395,20 @@ func Fig8(o Options) (*Fig8Result, error) {
 			// several post-injection judgments.
 			detInstr *= 2
 		}
-		m1, err := core.RunDetection(dep, o.pipelineConfig(1, jt.Lane("miaow")), aspec, detInstr)
+		detect := func(cus int, tel *obs.Telemetry) (*core.DetectionResult, error) {
+			s, err := core.Open(core.Deployments{dep},
+				core.WithConfig(o.pipelineConfig(cus, tel)),
+				core.WithAttack(aspec.Resolve(detInstr)))
+			if err != nil {
+				return nil, err
+			}
+			return s.Detect(detInstr)
+		}
+		m1, err := detect(1, jt.Lane("miaow"))
 		if err != nil {
 			return fmt.Errorf("fig8 %s/%v MIAOW: %w", p.Name, kind, err)
 		}
-		m5, err := core.RunDetection(dep, o.pipelineConfig(5, jt.Lane("mlmiaow")), aspec, detInstr)
+		m5, err := detect(5, jt.Lane("mlmiaow"))
 		if err != nil {
 			return fmt.Errorf("fig8 %s/%v ML-MIAOW: %w", p.Name, kind, err)
 		}

@@ -305,9 +305,13 @@ func (g *IGM) Recycle(classes []int32) {
 	g.free = append(g.free, classes)
 }
 
-// Take returns and clears the emitted vectors. It is a compat wrapper over
-// TakeInto: the returned slice is freshly allocated and owned by the caller.
-// Hot paths should prefer TakeInto with a recycled buffer.
+// Take returns and clears the emitted vectors. The returned slice is
+// freshly allocated and owned by the caller.
+//
+// Deprecated: use TakeInto with a recycled buffer
+// (`vecs = ig.TakeInto(vecs[:0])`) — it is the primary hand-off API and
+// drains the IGM with zero steady-state allocations. CI rejects new
+// in-repo Take callers.
 func (g *IGM) Take() []Vector { return g.TakeInto(nil) }
 
 // TakeInto appends the emitted vectors to dst, clears the internal queue

@@ -173,9 +173,13 @@ func (p *Port) release(at sim.Time) {
 	p.buf = p.buf[:0]
 }
 
-// Take returns and clears the released-byte stream. It is a compat wrapper
-// over TakeInto: the returned slice is freshly allocated and owned by the
-// caller. Hot paths should prefer TakeInto with a recycled buffer.
+// Take returns and clears the released-byte stream. The returned slice is
+// freshly allocated and owned by the caller.
+//
+// Deprecated: use TakeInto with a recycled buffer
+// (`buf = port.TakeInto(buf[:0])`) — it is the primary hand-off API and
+// drains the port with zero steady-state allocations. CI rejects new
+// in-repo Take callers.
 func (p *Port) Take() []TimedByte { return p.TakeInto(nil) }
 
 // TakeInto appends the released-byte stream to dst, clears the internal

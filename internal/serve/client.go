@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is the Go client for an rtad-wire session: dial, stream trace
+// bytes, receive judgments as the engine produces them, finish with the
+// summary. A Client is safe for one streaming goroutine; judgments are
+// delivered on the client's internal reader goroutine.
+//
+//	c, err := serve.Dial(addr, serve.Hello{
+//		Proto: serve.Proto, Benchmark: "458.sjeng", Model: "lstm",
+//	}, func(j serve.Judgment) { fmt.Println(j.Seq, j.Anomaly) })
+//	c.Send(traceBytes)
+//	sum, err := c.Finish()
+type Client struct {
+	conn    net.Conn
+	welcome Welcome
+	timeout time.Duration
+
+	onJudgment func(Judgment)
+	mu         sync.Mutex
+	judgments  []Judgment
+
+	readerDone chan struct{}
+	sum        *Summary
+	err        error
+}
+
+// DialTimeout bounds the handshake and each subsequent read/write.
+const DialTimeout = time.Minute
+
+// Dial connects to an rtadd server, negotiates a session with hello
+// (hello.Proto defaults to Proto if empty), and starts receiving. A non-nil
+// onJudgment is called from the reader goroutine for every judgment as it
+// arrives; with nil, judgments accumulate and Judgments returns them after
+// Finish. A server rejection (busy, draining, bad hello) is returned as an
+// *ErrorMsg error.
+func Dial(addr string, hello Hello, onJudgment func(Judgment)) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		timeout:    DialTimeout,
+		onJudgment: onJudgment,
+		readerDone: make(chan struct{}),
+	}
+	if hello.Proto == "" {
+		hello.Proto = Proto
+	}
+	conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if err := writeJSON(conn, FrameHello, &hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: sending hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(c.timeout))
+	t, payload, _, err := ReadFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: reading welcome: %w", err)
+	}
+	switch t {
+	case FrameWelcome:
+		if err := unmarshalFrame(payload, &c.welcome); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	case FrameError:
+		defer conn.Close()
+		return nil, decodeErrorFrame(payload)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: expected welcome, got %v", t)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Welcome returns the negotiated session parameters.
+func (c *Client) Welcome() Welcome { return c.welcome }
+
+// Send streams raw PTM trace bytes, transparently splitting data into
+// MaxFrame-sized chunks. Chunk boundaries never affect the judgment stream.
+func (c *Client) Send(data []byte) error {
+	const max = MaxFrame - 1
+	for len(data) > 0 {
+		n := len(data)
+		if n > max {
+			n = max
+		}
+		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+		if err := WriteFrame(c.conn, FrameChunk, data[:n]); err != nil {
+			// A send failure usually means the server already sent the real
+			// error; surface it if the reader has it.
+			if rerr := c.waitReader(time.Second); rerr != nil {
+				return rerr
+			}
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// Finish signals end-of-stream, waits for the remaining judgments and the
+// summary, and closes the connection.
+func (c *Client) Finish() (*Summary, error) {
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if err := WriteFrame(c.conn, FrameEOS, nil); err != nil {
+		if rerr := c.waitReader(time.Second); rerr != nil {
+			return nil, rerr
+		}
+		return nil, err
+	}
+	<-c.readerDone
+	c.conn.Close()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.sum == nil {
+		return nil, fmt.Errorf("serve: connection closed before summary")
+	}
+	return c.sum, nil
+}
+
+// Close aborts the session without waiting for a summary.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// Judgments returns the accumulated judgments (only populated when Dial was
+// given a nil onJudgment). Call after Finish for the complete stream.
+func (c *Client) Judgments() []Judgment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.judgments
+}
+
+// waitReader waits briefly for the reader goroutine to surface a terminal
+// error (used to prefer the server's error frame over a local write error).
+func (c *Client) waitReader(d time.Duration) error {
+	select {
+	case <-c.readerDone:
+		return c.err
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// readLoop consumes server frames until summary, error frame, or
+// disconnect. It is the only reader of the connection after the handshake.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		t, payload, nbuf, err := ReadFrame(c.conn, buf)
+		buf = nbuf
+		if err != nil {
+			c.err = fmt.Errorf("serve: connection lost: %w", err)
+			return
+		}
+		switch t {
+		case FrameJudgment:
+			j, err := DecodeJudgment(payload)
+			if err != nil {
+				c.err = err
+				return
+			}
+			if c.onJudgment != nil {
+				c.onJudgment(j)
+			} else {
+				c.mu.Lock()
+				c.judgments = append(c.judgments, j)
+				c.mu.Unlock()
+			}
+		case FrameSummary:
+			var sum Summary
+			if err := unmarshalFrame(payload, &sum); err != nil {
+				c.err = err
+				return
+			}
+			c.sum = &sum
+			return
+		case FrameError:
+			c.err = decodeErrorFrame(payload)
+			return
+		default:
+			c.err = fmt.Errorf("serve: unexpected %v frame from server", t)
+			return
+		}
+	}
+}

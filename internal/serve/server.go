@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtad/internal/core"
+	"rtad/internal/kernels"
+	"rtad/internal/obs"
+)
+
+// Config sizes and paces a Server. The zero value is usable: unlimited
+// sessions, fleet width GOMAXPROCS, 16-chunk queues, block backpressure,
+// one-minute I/O deadlines.
+type Config struct {
+	// MaxSessions bounds concurrently live sessions; a hello beyond the
+	// bound is rejected with an explicit ErrBusy frame rather than queued
+	// invisibly. 0 means unlimited.
+	MaxSessions int
+	// Workers is the Fleet width the session runners share; 0 sizes it to
+	// GOMAXPROCS. Sessions beyond the width stay admitted but wait for a
+	// worker, buffered by their chunk queues and ultimately TCP.
+	Workers int
+	// QueueDepth bounds each session's decoded-chunk queue (0 = 16 chunks).
+	// The queue decouples the connection reader from the simulation.
+	QueueDepth int
+	// Shed switches the backpressure policy when a session's chunk queue is
+	// full. Default (false) is block: the reader stops reading the socket
+	// and TCP flow control holds the client — lossless, the right choice
+	// when the trace source can pause. Shed (true) drops the newest chunk
+	// and counts it — bounded memory and latency at the cost of trace loss
+	// (decode resynchronises at the next a-sync), for sources that cannot
+	// pause. Shedding changes the judgment stream; lossless replay needs
+	// the block policy.
+	Shed bool
+	// ReadTimeout bounds the gap between client frames; WriteTimeout bounds
+	// one response write. 0 means 1 minute each.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// GapCycles is the replay pacing offered to clients that don't ask for
+	// one (0 = core.DefaultReplayGap).
+	GapCycles int64
+	// Telemetry records serve metrics (sessions, rejections, queue depth,
+	// bytes, judgments) alongside whatever the registry already holds.
+	Telemetry *obs.Telemetry
+	// Logf, when set, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server multiplexes rtad-wire sessions onto a bounded pool of pre-loaded
+// read-only deployments. Trained Deployments are immutable during inference
+// (the Fleet contract), so every session — and any number of concurrent
+// sessions — may share one deployment; each session owns its private
+// scheduler, pipeline and replay clock, so concurrent sessions produce
+// bit-identical judgment streams to a solo in-process run over the same
+// bytes.
+type Server struct {
+	cfg  Config
+	deps map[string]*core.Deployment // "benchmark/model" -> deployment
+	pool *core.Fleet
+
+	mu       sync.Mutex
+	live     int
+	draining bool
+	closed   bool
+	nextID   int64
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+
+	sessions sync.WaitGroup // live admitted sessions
+	connWG   sync.WaitGroup // all connection goroutines
+
+	// metrics (nil-safe when cfg.Telemetry is nil)
+	mLive      *obs.Gauge
+	mTotal     *obs.Counter
+	mBusy      *obs.Counter
+	mDraining  *obs.Counter
+	mShed      *obs.Counter
+	mPanics    *obs.Counter
+	mBytes     *obs.Counter
+	mJudgments *obs.Counter
+	mQueueMax  *obs.Gauge
+}
+
+// NewServer builds a server over cfg. Deployments are registered with
+// Deploy before Serve.
+func NewServer(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	tel := cfg.Telemetry
+	return &Server{
+		cfg:        cfg,
+		deps:       map[string]*core.Deployment{},
+		pool:       core.NewFleet(cfg.Workers),
+		conns:      map[net.Conn]struct{}{},
+		mLive:      tel.Gauge("rtad_serve_sessions_live"),
+		mTotal:     tel.Counter("rtad_serve_sessions_total"),
+		mBusy:      tel.Counter("rtad_serve_rejected_busy_total"),
+		mDraining:  tel.Counter("rtad_serve_rejected_draining_total"),
+		mShed:      tel.Counter("rtad_serve_shed_chunks_total"),
+		mPanics:    tel.Counter("rtad_serve_panics_total"),
+		mBytes:     tel.Counter("rtad_serve_bytes_in_total"),
+		mJudgments: tel.Counter("rtad_serve_judgments_total"),
+		mQueueMax:  tel.Gauge("rtad_serve_queue_depth_max"),
+	}
+}
+
+// Deploy registers a trained deployment under benchmark/model. The
+// deployment must not be mutated afterwards — every admitted session reads
+// it concurrently.
+func (s *Server) Deploy(dep *core.Deployment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deps[depKey(dep.Profile.Name, modelName(dep.Kind))] = dep
+}
+
+// Models lists the registered benchmark/model keys, sorted lexically.
+func (s *Server) Models() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.deps))
+	for k := range s.deps {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func depKey(bench, model string) string { return bench + "/" + model }
+
+func modelName(k core.ModelKind) string {
+	if k == core.ModelELM {
+		return "elm"
+	}
+	return "lstm"
+}
+
+// sortStrings is a dependency-free insertion sort (the model list is tiny).
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal listener
+// error). It blocks; run it in a goroutine when the caller also handles
+// signals. The listener stays open while draining so that late clients get
+// an explicit "draining" error frame instead of a connection refusal.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: sessions in flight finish and deliver their
+// summaries; new hellos are rejected with ErrDraining while the drain is in
+// progress. If the drain outlasts timeout, remaining connections are
+// force-closed. The listener closes last, after which Serve returns nil.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.sessions.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.cfg.Logf("serve: drain timeout after %v, force-closing connections", timeout)
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.connWG.Wait()
+	s.pool.Close()
+}
+
+// track registers a connection for force-close; untrack forgets it.
+func (s *Server) track(c net.Conn) {
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// inMsg is one unit of the reader→runner queue: a copied trace chunk, or
+// the end-of-stream mark.
+type inMsg struct {
+	data []byte
+	eos  bool
+}
+
+// handle runs a connection's read side: handshake, admission, then frame
+// reading into the session's bounded chunk queue. All post-welcome writes —
+// judgments, summary, errors — belong to the session runner, which also
+// closes the connection; the split keeps exactly one writer per socket.
+func (s *Server) handle(conn net.Conn) {
+	s.track(conn)
+	defer s.untrack(conn)
+
+	hello, err := s.readHello(conn)
+	if err != nil {
+		s.refuse(conn, ErrBadHello, err.Error())
+		return
+	}
+	if hello.Proto != Proto {
+		s.refuse(conn, ErrProto, fmt.Sprintf("unsupported protocol %q (want %s)", hello.Proto, Proto))
+		return
+	}
+
+	// Admission control, under one lock so the live count is exact.
+	s.mu.Lock()
+	switch {
+	case s.draining:
+		s.mu.Unlock()
+		s.mDraining.Inc()
+		s.refuse(conn, ErrDraining, "server is draining")
+		return
+	case s.cfg.MaxSessions > 0 && s.live >= s.cfg.MaxSessions:
+		s.mu.Unlock()
+		s.mBusy.Inc()
+		s.refuse(conn, ErrBusy, fmt.Sprintf("all %d sessions in use", s.cfg.MaxSessions))
+		return
+	}
+	dep, ok := s.deps[depKey(hello.Benchmark, hello.Model)]
+	if !ok {
+		avail := make([]string, 0, len(s.deps))
+		for k := range s.deps {
+			avail = append(avail, k)
+		}
+		s.mu.Unlock()
+		sortStrings(avail)
+		s.refuse(conn, ErrBadHello, fmt.Sprintf("no deployment %s/%s (have: %s)",
+			hello.Benchmark, hello.Model, strings.Join(avail, ", ")))
+		return
+	}
+	s.live++
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	live := s.live
+	s.mu.Unlock()
+
+	s.sessions.Add(1)
+	s.mTotal.Inc()
+	s.mLive.Set(int64(live))
+	admitted := false
+	defer func() {
+		if !admitted {
+			s.endSession()
+		}
+	}()
+
+	sess, welcome, err := s.openSession(id, dep, hello)
+	if err != nil {
+		s.refuse(conn, ErrBadHello, err.Error())
+		return
+	}
+	if err := s.writeFrame(conn, FrameWelcome, welcome); err != nil {
+		conn.Close()
+		return
+	}
+	admitted = true
+	s.cfg.Logf("serve: %s open %s/%s backend=%s from %v", id, hello.Benchmark, hello.Model, welcome.Backend, conn.RemoteAddr())
+
+	// The bounded chunk queue between this reader and the runner. The
+	// reader is the only sender and closes it; the runner drains it.
+	q := make(chan inMsg, s.cfg.QueueDepth)
+	var shed atomic.Int64
+
+	r := &runner{srv: s, id: id, conn: conn, sess: sess, q: q, shed: &shed}
+	s.pool.Go(r.run)
+
+	// Reader loop: frames in, chunks queued. Exiting closes q, which is the
+	// runner's end-of-input whatever the cause.
+	defer close(q)
+	buf := make([]byte, 0, 64<<10)
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		t, payload, nbuf, err := ReadFrame(conn, buf)
+		buf = nbuf
+		if err != nil {
+			return // disconnect or protocol garbage; runner sees closed q
+		}
+		switch t {
+		case FrameChunk:
+			s.mBytes.Add(int64(len(payload)))
+			msg := inMsg{data: append([]byte(nil), payload...)}
+			if s.cfg.Shed {
+				select {
+				case q <- msg:
+				default:
+					// Queue full: shed the newest chunk rather than stall
+					// the socket. The decoder resynchronises downstream.
+					s.mShed.Inc()
+					shed.Add(1)
+				}
+			} else {
+				q <- msg // block: TCP holds the client until space frees
+			}
+			s.mQueueMax.Max(int64(len(q)))
+		case FrameEOS:
+			q <- inMsg{eos: true}
+			return
+		default:
+			return // client protocol violation; drop the session
+		}
+	}
+}
+
+// endSession decrements the live count (and its gauge) exactly once per
+// admitted-or-aborted session.
+func (s *Server) endSession() {
+	s.mu.Lock()
+	s.live--
+	live := s.live
+	s.mu.Unlock()
+	s.mLive.Set(int64(live))
+	s.sessions.Done()
+}
+
+// openSession validates the negotiable parts of hello against the chosen
+// deployment and opens the trace-replay core session.
+func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*core.Session, *Welcome, error) {
+	backend := hello.Backend
+	if backend == "" {
+		backend = kernels.BackendGPU
+	}
+	switch backend {
+	case kernels.BackendGPU, kernels.BackendNative, kernels.BackendNativeCalibrated:
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q", hello.Backend)
+	}
+	if hello.Window != 0 && hello.Window != dep.Window() {
+		return nil, nil, fmt.Errorf("window mismatch: client expects %d, %s/%s judges %d-windows",
+			hello.Window, hello.Benchmark, hello.Model, dep.Window())
+	}
+	gap := hello.GapCycles
+	if gap <= 0 {
+		gap = s.cfg.GapCycles
+	}
+	if gap <= 0 {
+		gap = core.DefaultReplayGap
+	}
+	opts := []core.Option{
+		core.WithConfig(core.PipelineConfig{CUs: hello.CUs, Backend: backend}),
+		core.WithTraceInput(gap),
+	}
+	if a := hello.Attack; a != nil {
+		if a.BurstLen <= 0 {
+			return nil, nil, fmt.Errorf("attack burst_len must be positive, got %d", a.BurstLen)
+		}
+		opts = append(opts, core.WithAttack(core.AttackSpec{
+			TriggerBranch: a.TriggerBranch,
+			BurstLen:      a.BurstLen,
+			Mimicry:       a.Mimicry,
+			Seed:          a.Seed,
+		}))
+	}
+	sess, err := core.Open(core.Deployments{dep}, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	welcome := &Welcome{
+		Proto:     Proto,
+		Session:   id,
+		Benchmark: hello.Benchmark,
+		Model:     hello.Model,
+		Backend:   backend,
+		Window:    dep.Window(),
+		GapCycles: gap,
+	}
+	return sess, welcome, nil
+}
+
+// refuse writes one error frame and closes the connection — the pre-session
+// exit path (bad hello, busy, draining).
+func (s *Server) refuse(conn net.Conn, code, msg string) {
+	s.writeFrame(conn, FrameError, &ErrorMsg{Code: code, Msg: msg})
+	conn.Close()
+}
+
+func (s *Server) readHello(conn net.Conn) (*Hello, error) {
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	t, payload, _, err := ReadFrame(conn, nil)
+	if err != nil {
+		return nil, fmt.Errorf("reading hello: %w", err)
+	}
+	if t != FrameHello {
+		return nil, fmt.Errorf("expected hello, got %v", t)
+	}
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	return &h, nil
+}
+
+// writeFrame applies the write deadline and emits one JSON frame.
+func (s *Server) writeFrame(conn net.Conn, t FrameType, v any) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return writeJSON(conn, t, v)
+}
+
+// runner drives one admitted session on a fleet worker: chunks in,
+// judgments out, summary at end-of-stream. It owns every post-welcome write
+// and the connection's close.
+type runner struct {
+	srv  *Server
+	id   string
+	conn net.Conn
+	sess *core.Session
+	q    <-chan inMsg
+	shed *atomic.Int64
+}
+
+// run executes the session to completion. A panic anywhere in the
+// simulation is confined to this session: it is counted, logged, reported
+// to the client as an internal error, and the server keeps serving.
+func (r *runner) run() error {
+	s := r.srv
+	defer s.endSession()
+	defer r.conn.Close()
+	// The reader blocks sending into q when the queue policy is block; keep
+	// draining after exit so it can always make progress to its own close.
+	defer func() {
+		for range r.q {
+		}
+	}()
+	defer func() {
+		if p := recover(); p != nil {
+			s.mPanics.Inc()
+			s.cfg.Logf("serve: %s panic: %v", r.id, p)
+			r.writeError(ErrInternal, fmt.Sprintf("session panic: %v", p))
+		}
+	}()
+
+	var judgBuf []byte
+	sawEOS := false
+	for msg := range r.q {
+		if msg.eos {
+			sawEOS = true
+			break
+		}
+		if err := r.sess.FeedTrace(msg.data); err != nil {
+			r.writeError(ErrInternal, err.Error())
+			return fmt.Errorf("serve: %s: %w", r.id, err)
+		}
+		if err := r.flushJudgments(&judgBuf); err != nil {
+			return nil // client gone; nothing left to deliver
+		}
+	}
+	if !sawEOS {
+		// Reader closed the queue without EOS: disconnect or timeout. The
+		// session dies with it; there is no one to summarise to.
+		s.cfg.Logf("serve: %s aborted before eos", r.id)
+		return nil
+	}
+	if err := r.sess.Drain(); err != nil {
+		r.writeError(ErrInternal, err.Error())
+		return fmt.Errorf("serve: %s drain: %w", r.id, err)
+	}
+	if err := r.flushJudgments(&judgBuf); err != nil {
+		return nil
+	}
+	sum := r.summary()
+	if err := s.writeFrame(r.conn, FrameSummary, sum); err != nil {
+		return nil
+	}
+	s.cfg.Logf("serve: %s done: %d judged, %d events, %d trace bytes", r.id, sum.Judged, sum.Events, sum.TraceBytes)
+	return nil
+}
+
+// flushJudgments sends every newly delivered judgment as one frame each, in
+// delivery (time) order.
+func (r *runner) flushJudgments(buf *[]byte) error {
+	for _, j := range r.sess.Results() {
+		*buf = AppendJudgment((*buf)[:0], Judgment{
+			Seq:         j.Vector.Seq,
+			Done:        int64(j.Rec.Done),
+			FinalRetire: int64(j.FinalRetire),
+			IRQAt:       int64(j.Rec.IRQAt),
+			MarginQ:     j.Rec.Judgment.MarginQ,
+			EwmaQ:       j.Rec.Judgment.EwmaQ,
+			Anomaly:     j.Rec.Judgment.Anomaly,
+		})
+		r.conn.SetWriteDeadline(time.Now().Add(r.srv.cfg.WriteTimeout))
+		if err := WriteFrame(r.conn, FrameJudgment, *buf); err != nil {
+			return err
+		}
+		r.srv.mJudgments.Inc()
+	}
+	return nil
+}
+
+// summary assembles the end-of-stream summary from the drained session.
+func (r *runner) summary() *Summary {
+	bytes, events, decErrs := r.sess.ReplayStats()
+	stats := r.sess.MCMStats()
+	sum := &Summary{
+		Judged:       int(stats.Accepted),
+		Dropped:      stats.Dropped,
+		MaxOccupancy: stats.MaxOccupancy,
+		TraceBytes:   bytes,
+		Events:       events,
+		DecodeErrors: decErrs,
+		ShedChunks:   r.shed.Load(),
+		AttackFired:  r.sess.AttackFired(),
+	}
+	if sum.AttackFired {
+		if res, err := r.sess.Summary(); err == nil {
+			sum.Detection = &Detection{
+				Detected:      res.Detected,
+				InjectTimePS:  int64(res.InjectTime),
+				LatencyPS:     int64(res.Latency),
+				MeanLatencyPS: int64(res.MeanLatency),
+				IRQTimePS:     int64(res.IRQTime),
+				FirstSeq:      res.First.Vector.Seq,
+			}
+		}
+	}
+	return sum
+}
+
+func (r *runner) writeError(code, msg string) {
+	r.conn.SetWriteDeadline(time.Now().Add(r.srv.cfg.WriteTimeout))
+	writeJSON(r.conn, FrameError, &ErrorMsg{Code: code, Msg: msg})
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFrameGolden pins the exact bytes of the rtad-wire framing: a length
+// prefix that counts the type byte, little-endian, then type, then payload.
+// A change here is a protocol break, not a refactor.
+func TestFrameGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameChunk, []byte{0xAA, 0xBB, 0xCC}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0x04, 0x00, 0x00, 0x00, // len = 4 (type + 3 payload), LE
+		0x03,             // FrameChunk
+		0xAA, 0xBB, 0xCC, // payload
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chunk frame bytes:\n got % x\nwant % x", buf.Bytes(), want)
+	}
+
+	buf.Reset()
+	if err := WriteFrame(&buf, FrameEOS, nil); err != nil {
+		t.Fatal(err)
+	}
+	want = []byte{0x01, 0x00, 0x00, 0x00, 0x04}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("eos frame bytes:\n got % x\nwant % x", buf.Bytes(), want)
+	}
+}
+
+// TestJudgmentGolden pins the 41-byte judgment layout.
+func TestJudgmentGolden(t *testing.T) {
+	j := Judgment{
+		Seq:         0x0102030405060708,
+		Done:        0x1112131415161718,
+		FinalRetire: 0x2122232425262728,
+		IRQAt:       0x3132333435363738,
+		MarginQ:     -2,
+		EwmaQ:       0x41424344,
+		Anomaly:     true,
+	}
+	b := AppendJudgment(nil, j)
+	want := []byte{
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+		0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11,
+		0x28, 0x27, 0x26, 0x25, 0x24, 0x23, 0x22, 0x21,
+		0x38, 0x37, 0x36, 0x35, 0x34, 0x33, 0x32, 0x31,
+		0xFE, 0xFF, 0xFF, 0xFF, // MarginQ = -2
+		0x44, 0x43, 0x42, 0x41,
+		0x01,
+	}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("judgment bytes:\n got % x\nwant % x", b, want)
+	}
+	if len(b) != JudgmentSize {
+		t.Fatalf("judgment size %d, want %d", len(b), JudgmentSize)
+	}
+	back, err := DecodeJudgment(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != j {
+		t.Fatalf("round trip: got %+v want %+v", back, j)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := map[FrameType][]byte{
+		FrameHello:   []byte(`{"proto":"rtad-wire/1"}`),
+		FrameChunk:   bytes.Repeat([]byte{0x55}, 70_000), // forces buffer growth
+		FrameEOS:     nil,
+		FrameSummary: []byte(`{"judged":3}`),
+	}
+	for typ, p := range payloads {
+		buf.Reset()
+		if err := WriteFrame(&buf, typ, p); err != nil {
+			t.Fatal(err)
+		}
+		gt, gp, _, err := ReadFrame(&buf, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if gt != typ || !bytes.Equal(gp, p) {
+			t.Fatalf("%v: round trip mismatch (%d bytes in, %d out)", typ, len(p), len(gp))
+		}
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":  {0x00, 0x00, 0x00, 0x00, 0x01},
+		"over max":     {0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		"unknown type": {0x01, 0x00, 0x00, 0x00, 0x99},
+		"truncated":    {0x0A, 0x00, 0x00, 0x00, 0x03, 0x01},
+	}
+	for name, in := range cases {
+		if _, _, _, err := ReadFrame(bytes.NewReader(in), nil); err == nil {
+			t.Errorf("%s: ReadFrame accepted % x", name, in)
+		}
+	}
+	// A short header is io.EOF / ErrUnexpectedEOF territory, not a panic.
+	if _, _, _, err := ReadFrame(strings.NewReader("\x01"), nil); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	if err := WriteFrame(io.Discard, FrameChunk, make([]byte, MaxFrame)); err == nil {
+		t.Fatal("oversize payload accepted")
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&stream, FrameChunk, []byte{byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 0, 64)
+	orig := &buf[:1][0]
+	for i := 0; i < 3; i++ {
+		_, p, nbuf, err := ReadFrame(&stream, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != byte(i) {
+			t.Fatalf("frame %d payload %x", i, p)
+		}
+		buf = nbuf
+	}
+	if &buf[:1][0] != orig {
+		t.Fatal("small frames reallocated the read buffer")
+	}
+}
+
+func TestErrorMsgIsError(t *testing.T) {
+	blob, _ := json.Marshal(&ErrorMsg{Code: ErrBusy, Msg: "all 4 sessions in use"})
+	err := decodeErrorFrame(blob)
+	var em *ErrorMsg
+	if !errors.As(err, &em) || em.Code != ErrBusy {
+		t.Fatalf("decoded error frame = %#v", err)
+	}
+	if !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("error text %q", err.Error())
+	}
+}

@@ -164,9 +164,13 @@ func (f *Formatter) emit() {
 	}
 }
 
-// Take returns and clears the emitted word stream. It is a compat wrapper
-// over TakeInto: the returned slice is freshly allocated and owned by the
-// caller. Hot paths should prefer TakeInto with a recycled buffer.
+// Take returns and clears the emitted word stream. The returned slice is
+// freshly allocated and owned by the caller.
+//
+// Deprecated: use TakeInto with a recycled buffer
+// (`buf = fmtr.TakeInto(buf[:0])`) — it is the primary hand-off API and
+// drains the formatter with zero steady-state allocations. CI rejects new
+// in-repo Take callers.
 func (f *Formatter) Take() []TimedWord { return f.TakeInto(nil) }
 
 // TakeInto appends the emitted word stream to dst, clears the internal
