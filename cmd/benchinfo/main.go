@@ -104,6 +104,8 @@ func printBenchFile(path string) error {
 		printBackendsBaseline(doc)
 	case "rtad-bench-frontend/1":
 		printFrontendBaseline(doc)
+	case "rtad-bench-serve/1":
+		printServeBaseline(doc)
 	default:
 		return fmt.Errorf("%s: unknown schema %q", path, schema)
 	}
@@ -146,6 +148,52 @@ func printBackendsBaseline(doc map[string]any) {
 				fmt.Printf("  %-22s %6.2fx\n", k, v)
 			}
 		}
+	}
+}
+
+// printServeBaseline lays out BENCH_serve.json: the loadgen fleet shape,
+// then the unbatched/batched passes side by side with the headline
+// aggregate-throughput speedup.
+func printServeBaseline(doc map[string]any) {
+	str := func(k string) string {
+		if v, ok := doc[k].(string); ok {
+			return v
+		}
+		return "-"
+	}
+	num := func(k string) float64 {
+		v, _ := doc[k].(float64)
+		return v
+	}
+	fmt.Printf("fleet: %s/%s on %s backend — %.0f clients (%.0f probed), stride %.0f, %.0f workers\n",
+		str("bench"), str("model"), str("backend"),
+		num("clients"), num("probes"), num("stride"), num("workers"))
+	fmt.Printf("batching: window %.0fµs, max %.0f sessions; trace %.0f bytes/client\n\n",
+		num("batch_window_us"), num("batch_max"), num("trace_bytes"))
+
+	runs, _ := doc["runs"].(map[string]any)
+	fmt.Printf("%-11s %10s %8s %12s %12s %12s %12s\n",
+		"pass", "judg/s", "wall s", "p50 µs", "p90 µs", "p99 µs", "batch size")
+	for _, name := range []string{"unbatched", "batched"} {
+		run, _ := runs[name].(map[string]any)
+		if run == nil {
+			continue
+		}
+		lat, _ := run["latency_us"].(map[string]any)
+		bs := "-"
+		if v, ok := run["batch_mean_size"].(float64); ok {
+			bs = fmt.Sprintf("%.1f", v)
+		}
+		wall := "-"
+		if v, ok := run["wall_s"].(float64); ok {
+			wall = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Printf("%-11s %s %8s %s %s %s %12s\n", name,
+			numCell(run, "throughput_judgments_per_s", 10), wall,
+			numCell(lat, "p50", 12), numCell(lat, "p90", 12), numCell(lat, "p99", 12), bs)
+	}
+	if v, ok := doc["speedup_batched_vs_unbatched"].(float64); ok {
+		fmt.Printf("\nspeedup, batched vs unbatched aggregate throughput: %.2fx\n", v)
 	}
 }
 

@@ -1,0 +1,563 @@
+// Command loadgen hammers an rtadd daemon with many concurrent rtad-wire
+// sessions and measures the serving plane: per-judgment turnaround latency
+// (p50/p90/p99) and aggregate judgment throughput, unbatched versus
+// micro-batched. It is the harness behind the committed BENCH_serve.json
+// baseline.
+//
+// Two modes:
+//
+//	loadgen -clients 1000                      # spawn: in-process daemon, runs
+//	                                           # unbatched then batched, writes
+//	                                           # BENCH_serve.json
+//	loadgen -addr 127.0.0.1:7433 -clients 256  # external: hammer a running
+//	                                           # rtadd, print stats only
+//
+// The fleet splits into two roles, the standard load-test shape. The first
+// -probes clients are closed-loop latency probes: after each chunk they wait
+// for the next judgment before sending more, and the sample is the wall time
+// from the chunk write to that judgment's arrival — queueing plus batching
+// plus inference as the client experiences it. Every other client streams
+// its chunks open-loop, throttled only by the server's per-session queue
+// backpressure, which keeps the fleet's workers saturated with in-flight
+// chunks the way a real always-on probe population would. All sessions use
+// the same explicit -stride (denser than the LSTM default) so inference
+// dominates the host work and both configurations judge identical vector
+// sets.
+//
+// -verify makes client 0 accumulate its judgment stream and compare it,
+// field for field, against an in-process trace-replay reference — the
+// bit-identity spot check that batching must not change any stream, even
+// under full concurrent load. Spawn mode only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"rtad/internal/core"
+	"rtad/internal/cpu"
+	"rtad/internal/obs"
+	"rtad/internal/ptm"
+	"rtad/internal/serve"
+	"rtad/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "external rtadd address (empty = spawn an in-process daemon and bench unbatched vs batched)")
+		bench   = flag.String("bench", "458.sjeng", "victim benchmark: trace source, and the deployment trained in spawn mode")
+		backend = flag.String("backend", "native", "inference backend every session requests")
+		clients = flag.Int("clients", 64, "concurrent rtad-wire sessions")
+		probes  = flag.Int("probes", 64, "closed-loop latency probes among the clients; the rest stream open-loop to keep the fleet saturated")
+		stride  = flag.Int("stride", 16, "judgment stride requested in every hello (0 = deployment default)")
+		gap     = flag.Int64("gap", 100_000, "replay pacing in simulated CPU cycles per branch; large gaps drain the MCM FIFO between vectors so every strided vector is judged instead of dropped (0 = server default)")
+		chunk   = flag.Int("chunk", 4096, "trace bytes per closed-loop send")
+
+		workers     = flag.Int("workers", 64, "spawn mode: fleet width of the in-process daemon (GOMAXPROCS=1 hosts need this explicit)")
+		batchWindow = flag.Duration("batch-window", time.Millisecond, "spawn mode: micro-batch window of the batched pass")
+		batchMax    = flag.Int("batch-max", 32, "spawn mode: micro-batch size cap of the batched pass")
+
+		trainInstr = flag.Int64("train-instr", 1_200_000, "spawn mode: victim instructions to train the deployment on")
+		traceInstr = flag.Int64("trace-instr", 200_000, "victim instructions captured into the trace each client streams")
+
+		modes   = flag.String("modes", "unbatched,batched", "spawn mode: which passes to run; a single mode skips the comparison (useful for profiling one pass)")
+		repeats = flag.Int("repeats", 1, "spawn mode: repeats per mode, interleaved to cancel host drift; recorded stats are each mode's median-throughput repeat")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the load passes to this file")
+		verify  = flag.Bool("verify", false, "spawn mode: compare client 0's judgments against an in-process reference (bit-identity spot check)")
+		out     = flag.String("out", "", "spawn mode: write the rtad-bench-serve/1 baseline to this file (e.g. BENCH_serve.json)")
+		note    = flag.String("note", "", "free-form note recorded in the baseline")
+	)
+	flag.Parse()
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+	if err := run(*addr, *bench, *backend, *clients, *probes, *stride, *gap, *chunk, *workers,
+		*batchWindow, *batchMax, *trainInstr, *traceInstr, *modes, *repeats, *verify, *out, *note); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, bench, backend string, clients, probes, stride int, gap int64, chunk, workers int,
+	batchWindow time.Duration, batchMax int, trainInstr, traceInstr int64,
+	modes string, repeats int, verify bool, out, note string) error {
+
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
+	if probes > clients {
+		probes = clients
+	}
+	if probes < 1 {
+		probes = 1 // client 0 must stay closed-loop: it carries -verify
+	}
+	fmt.Printf("capturing %s trace (%d instructions)...\n", bench, traceInstr)
+	stream, err := captureTrace(p, traceInstr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d bytes\n", len(stream))
+
+	if addr != "" {
+		if verify {
+			return fmt.Errorf("-verify needs spawn mode: the reference must share the daemon's trained weights")
+		}
+		st, err := pass(addr, bench, backend, stride, gap, chunk, clients, probes, stream, nil)
+		if err != nil {
+			return err
+		}
+		printPass("external", st)
+		return nil
+	}
+
+	// Spawn mode: train once, then run the same fleet of clients against an
+	// unbatched and a batched in-process daemon over the same deployment.
+	fmt.Printf("training lstm detector on %s (%d instructions)...\n", bench, trainInstr)
+	cfg := core.DefaultTrainConfig(p, core.ModelLSTM)
+	cfg.TrainInstr = trainInstr
+	dep, err := core.Train(cfg)
+	if err != nil {
+		return err
+	}
+
+	var want []serve.Judgment
+	if verify {
+		want, err = referenceJudgments(dep, backend, stride, gap, stream)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reference: %d judgments per session\n", len(want))
+	}
+
+	base := serve.Config{
+		MaxSessions: clients + 8,
+		Workers:     workers,
+		Logf:        func(string, ...any) {}, // per-session logs would swamp the bench output
+	}
+	modeList := strings.Split(modes, ",")
+	for _, mode := range modeList {
+		if mode != "unbatched" && mode != "batched" {
+			return fmt.Errorf("unknown mode %q in -modes (want unbatched and/or batched)", mode)
+		}
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	// Repeats interleave the modes (u, b, u, b, ...) so slow host drift —
+	// frequency scaling, neighbours on a shared box — hits both sides alike
+	// instead of biasing whichever mode ran later.
+	all := map[string][]*passStats{}
+	for rep := 0; rep < repeats; rep++ {
+		for _, mode := range modeList {
+			cfg := base
+			cfg.Telemetry = obs.NewMetricsOnly()
+			if mode == "batched" {
+				cfg.BatchWindow = batchWindow
+				cfg.BatchMax = batchMax
+			}
+			daddr, stop, err := startDaemon(cfg, dep)
+			if err != nil {
+				return err
+			}
+			st, err := pass(daddr, bench, backend, stride, gap, chunk, clients, probes, stream, want)
+			if err != nil {
+				stop()
+				return fmt.Errorf("%s pass: %w", mode, err)
+			}
+			if err := stop(); err != nil {
+				return fmt.Errorf("%s pass: drain: %w", mode, err)
+			}
+			if mode == "batched" {
+				h := cfg.Telemetry.Reg.Histogram("rtad_serve_batch_size", serve.BatchSizeBuckets)
+				if h.Count() > 0 {
+					st.batchMeanSize = h.Sum() / float64(h.Count())
+				}
+				st.flushes = map[string]int64{}
+				for _, reason := range []string{"window", "full", "starve", "drain"} {
+					st.flushes[reason] = cfg.Telemetry.Reg.Counter("rtad_serve_batch_flush_" + reason + "_total").Value()
+				}
+			}
+			all[mode] = append(all[mode], st)
+			name := mode
+			if repeats > 1 {
+				name = fmt.Sprintf("%s %d/%d", mode, rep+1, repeats)
+			}
+			printPass(name, st)
+		}
+	}
+	runs := map[string]*passStats{}
+	for _, mode := range modeList {
+		runs[mode] = medianPass(all[mode])
+	}
+
+	if runs["unbatched"] == nil || runs["batched"] == nil {
+		return nil // single-mode run: nothing to compare or record
+	}
+	if runs["unbatched"].judged != runs["batched"].judged {
+		return fmt.Errorf("judgment counts diverged: unbatched %d, batched %d",
+			runs["unbatched"].judged, runs["batched"].judged)
+	}
+	speedup := runs["batched"].throughput / runs["unbatched"].throughput
+	if repeats > 1 {
+		fmt.Printf("\nbatched vs unbatched throughput (median of %d): %.2fx\n", repeats, speedup)
+	} else {
+		fmt.Printf("\nbatched vs unbatched throughput: %.2fx\n", speedup)
+	}
+	if verify {
+		fmt.Println("verify: client 0 judgment streams bit-identical to the in-process reference in both passes")
+	}
+
+	if out == "" {
+		return nil
+	}
+	return writeBaseline(out, bench, backend, clients, probes, stride, gap, workers,
+		batchWindow, batchMax, len(stream), note, runs, speedup)
+}
+
+// captureTrace records a victim run as the raw branch-broadcast PTM stream
+// a CoreSight probe would emit (mirrors cmd/tracegen).
+func captureTrace(p workload.Profile, instr int64) ([]byte, error) {
+	prog, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: true})
+	var stream []byte
+	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: cpu.SinkFunc(func(ev cpu.BranchEvent) int64 {
+		stream = append(stream, enc.Encode(ev)...)
+		return 0
+	})})
+	if _, err := c.Run(instr); err != nil {
+		return nil, err
+	}
+	return append(stream, enc.Flush()...), nil
+}
+
+// referenceJudgments replays the stream through an in-process trace-input
+// session — the unbatched single-session ground truth.
+func referenceJudgments(dep *core.Deployment, backend string, stride int, gap int64, stream []byte) ([]serve.Judgment, error) {
+	s, err := core.Open(core.Deployments{dep},
+		core.WithConfig(core.PipelineConfig{Backend: backend, Stride: stride}),
+		core.WithTraceInput(gap))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.FeedTrace(stream); err != nil {
+		return nil, err
+	}
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
+	var want []serve.Judgment
+	for _, j := range s.Results() {
+		want = append(want, serve.Judgment{
+			Seq:         j.Vector.Seq,
+			Done:        int64(j.Rec.Done),
+			FinalRetire: int64(j.FinalRetire),
+			IRQAt:       int64(j.Rec.IRQAt),
+			MarginQ:     j.Rec.Judgment.MarginQ,
+			EwmaQ:       j.Rec.Judgment.EwmaQ,
+			Anomaly:     j.Rec.Judgment.Anomaly,
+		})
+	}
+	return want, nil
+}
+
+// passStats aggregates one load pass.
+type passStats struct {
+	wall          time.Duration
+	cpu           time.Duration // process user+system CPU consumed by the pass
+	judged        int64
+	throughput    float64 // judgments per wall-clock second
+	latP50        float64 // microseconds
+	latP90        float64
+	latP99        float64
+	latMax        float64
+	samples       int
+	batchMeanSize float64
+	flushes       map[string]int64 // batched pass only: flush counts by reason
+	allThroughput []float64        // every repeat's throughput, when -repeats > 1
+}
+
+// medianPass picks the median-throughput repeat — a real measured pass, not
+// a synthetic average — and annotates it with the full spread.
+func medianPass(sts []*passStats) *passStats {
+	if len(sts) == 1 {
+		return sts[0]
+	}
+	ordered := append([]*passStats(nil), sts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].throughput < ordered[j].throughput })
+	med := ordered[len(ordered)/2]
+	for _, st := range sts {
+		med.allThroughput = append(med.allThroughput, round3(st.throughput))
+	}
+	return med
+}
+
+// pass runs the client fleet against addr and aggregates latency and
+// throughput. Clients below probes are closed-loop latency probes; the rest
+// stream open-loop. If verifyWant is non-nil, client 0 accumulates its
+// judgments and they are compared field-for-field against it.
+func pass(addr, bench, backend string, stride int, gap int64, chunk, clients, probes int, stream []byte,
+	verifyWant []serve.Judgment) (*passStats, error) {
+
+	type clientOut struct {
+		lat    []float64
+		judged int64
+		js     []serve.Judgment
+		err    error
+	}
+	outs := make([]clientOut, clients)
+	var wg sync.WaitGroup
+	cpu0 := processCPU()
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := &outs[i]
+			collect := verifyWant != nil && i == 0
+
+			var armed atomic.Bool
+			gotJ := make(chan time.Time, 1)
+			onJudgment := func(j serve.Judgment) {
+				o.judged++
+				if collect {
+					o.js = append(o.js, j)
+				}
+				if armed.CompareAndSwap(true, false) {
+					select {
+					case gotJ <- time.Now():
+					default:
+					}
+				}
+			}
+			c, err := serve.Dial(addr, serve.Hello{
+				Benchmark: bench, Model: "lstm", Backend: backend,
+				Stride: stride, GapCycles: gap,
+			}, onJudgment)
+			if err != nil {
+				o.err = err
+				return
+			}
+			for off := 0; off < len(stream); off += chunk {
+				end := off + chunk
+				if end > len(stream) {
+					end = len(stream)
+				}
+				if i >= probes {
+					// Open-loop: stream flat out; the server's per-session
+					// queue backpressure is the only throttle.
+					if err := c.Send(stream[off:end]); err != nil {
+						o.err = err
+						return
+					}
+					continue
+				}
+				if end == len(stream) {
+					// The tail chunk may hold less than one stride of
+					// branches; Finish drains whatever it produces.
+					if err := c.Send(stream[off:]); err != nil {
+						o.err = err
+					}
+					break
+				}
+				armed.Store(true)
+				t0 := time.Now()
+				if err := c.Send(stream[off:end]); err != nil {
+					o.err = err
+					return
+				}
+				select {
+				case t1 := <-gotJ:
+					o.lat = append(o.lat, float64(t1.Sub(t0))/float64(time.Microsecond))
+				case <-time.After(30 * time.Second):
+					armed.Store(false) // a sparse chunk may judge nothing; move on
+				}
+			}
+			if o.err != nil {
+				return
+			}
+			if _, err := c.Finish(); err != nil {
+				o.err = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	st := &passStats{wall: wall, cpu: processCPU() - cpu0}
+	var lat []float64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("client %d: %w", i, outs[i].err)
+		}
+		st.judged += outs[i].judged
+		lat = append(lat, outs[i].lat...)
+	}
+	if st.judged == 0 {
+		return nil, fmt.Errorf("no judgments; lengthen -trace-instr or lower -stride")
+	}
+	st.throughput = float64(st.judged) / wall.Seconds()
+	sort.Float64s(lat)
+	st.samples = len(lat)
+	if n := len(lat); n > 0 {
+		st.latP50, st.latP90, st.latP99 = quantile(lat, 0.50), quantile(lat, 0.90), quantile(lat, 0.99)
+		st.latMax = lat[n-1]
+	}
+
+	if verifyWant != nil {
+		got := outs[0].js
+		if len(got) != len(verifyWant) {
+			return nil, fmt.Errorf("verify: client 0 judged %d vectors, reference %d", len(got), len(verifyWant))
+		}
+		for k := range got {
+			if got[k] != verifyWant[k] {
+				return nil, fmt.Errorf("verify: judgment %d diverged from the reference:\n got %+v\nwant %+v",
+					k, got[k], verifyWant[k])
+			}
+		}
+	}
+	return st, nil
+}
+
+// processCPU returns the process's cumulative user+system CPU time; pass
+// deltas separate real work from idle in the wall-clock numbers (loadgen's
+// clients and the spawned daemon share one process, so the delta covers
+// both sides of the socket).
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func printPass(name string, st *passStats) {
+	fmt.Printf("\n%s: %d judgments in %v (%.0f judgments/s, cpu %v = %.0f%% busy)\n",
+		name, st.judged, st.wall.Round(time.Millisecond), st.throughput,
+		st.cpu.Round(time.Millisecond), 100*st.cpu.Seconds()/st.wall.Seconds())
+	fmt.Printf("  turnaround latency (µs, %d samples): p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
+		st.samples, st.latP50, st.latP90, st.latP99, st.latMax)
+	if st.batchMeanSize > 0 {
+		fmt.Printf("  mean batch size: %.1f vectors (flushes: window %d, full %d, starve %d, drain %d)\n",
+			st.batchMeanSize, st.flushes["window"], st.flushes["full"], st.flushes["starve"], st.flushes["drain"])
+	}
+}
+
+func writeBaseline(path, bench, backend string, clients, probes, stride int, gap int64, workers int,
+	batchWindow time.Duration, batchMax, traceBytes int, note string,
+	runs map[string]*passStats, speedup float64) error {
+
+	runDoc := func(st *passStats) map[string]any {
+		d := map[string]any{
+			"wall_s":                     round3(st.wall.Seconds()),
+			"cpu_s":                      round3(st.cpu.Seconds()),
+			"judgments_total":            st.judged,
+			"throughput_judgments_per_s": round3(st.throughput),
+			"latency_us": map[string]any{
+				"p50": round3(st.latP50), "p90": round3(st.latP90),
+				"p99": round3(st.latP99), "max": round3(st.latMax),
+				"samples": st.samples,
+			},
+		}
+		if st.batchMeanSize > 0 {
+			d["batch_mean_size"] = round3(st.batchMeanSize)
+		}
+		if len(st.allThroughput) > 1 {
+			d["throughput_repeats"] = st.allThroughput
+		}
+		return d
+	}
+	doc := map[string]any{
+		"schema":  "rtad-bench-serve/1",
+		"date":    time.Now().Format("2006-01-02"),
+		"goos":    runtime.GOOS,
+		"goarch":  runtime.GOARCH,
+		"cpu":     cpuModel(),
+		"command": "go run ./cmd/loadgen " + strings.Join(os.Args[1:], " "),
+		"bench":   bench, "model": "lstm", "backend": backend,
+		"clients": clients, "probes": probes, "stride": stride, "gap_cycles": gap, "workers": workers,
+		"batch_window_us": batchWindow.Microseconds(),
+		"batch_max":       batchMax,
+		"trace_bytes":     traceBytes,
+		"runs": map[string]any{
+			"unbatched": runDoc(runs["unbatched"]),
+			"batched":   runDoc(runs["batched"]),
+		},
+		"speedup_batched_vs_unbatched": round3(speedup),
+	}
+	if note != "" {
+		doc["note"] = note
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// cpuModel reads the host CPU model name for the baseline provenance header.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+// startDaemon runs an in-process server over dep on a loopback listener.
+func startDaemon(cfg serve.Config, dep *core.Deployment) (string, func() error, error) {
+	srv := serve.NewServer(cfg)
+	srv.Deploy(dep)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() error {
+		srv.Shutdown(time.Minute)
+		return <-done
+	}
+	return ln.Addr().String(), stop, nil
+}

@@ -48,6 +48,9 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", time.Minute, "max gap between client frames")
 		writeTimeout = flag.Duration("write-timeout", time.Minute, "max duration of one response write")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions before force-closing")
+
+		batchWindow = flag.Duration("batch-window", 0, "micro-batch collection window for cross-session fused inference (0 = unbatched)")
+		batchMax    = flag.Int("batch-max", 0, "max vectors per micro-batch (0 = built-in default)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,8 @@ func main() {
 		GapCycles:    *gap,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
+		BatchWindow:  *batchWindow,
+		BatchMax:     *batchMax,
 		Telemetry:    tel,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -83,6 +88,13 @@ func main() {
 		fatal(fmt.Errorf("no deployments: give -bench (train at startup) or -load (saved files)"))
 	}
 	fmt.Printf("serving %d deployment(s): %s\n", len(keys), strings.Join(keys, ", "))
+	if *batchWindow > 0 {
+		max := *batchMax
+		if max <= 0 {
+			max = serve.DefaultBatchMax
+		}
+		fmt.Printf("micro-batching sessions: window %v, max %d vectors\n", *batchWindow, max)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

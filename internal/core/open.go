@@ -5,6 +5,7 @@ import (
 
 	"rtad/internal/axi"
 	"rtad/internal/cpu"
+	"rtad/internal/kernels"
 	"rtad/internal/mcm"
 	"rtad/internal/obs"
 	"rtad/internal/sim"
@@ -56,6 +57,14 @@ func WithLaneConfig(lane int, cfg PipelineConfig) Option {
 // on top of WithConfig. Judgment streams are bit-identical across backends.
 func WithBackend(name string) Option {
 	return func(o *openConfig) { o.base.Backend = name }
+}
+
+// WithEngineWrap installs an inference-engine interceptor on every lane
+// (PipelineConfig.EngineWrap); it applies on top of WithConfig. The serving
+// layer uses this to route each session's Infer calls through a
+// cross-session batching coordinator without the session noticing.
+func WithEngineWrap(wrap func(kernels.Backend) kernels.Backend) Option {
+	return func(o *openConfig) { o.base.EngineWrap = wrap }
 }
 
 // WithTelemetry attaches the observability bundle to the session: scheduler

@@ -208,3 +208,55 @@ func TestReplayAttackInjection(t *testing.T) {
 		t.Fatal("MCMStats reports nothing accepted")
 	}
 }
+
+// countingEngine is a pass-through Backend wrapper counting Infer calls.
+type countingEngine struct {
+	kernels.Backend
+	calls int
+}
+
+func (c *countingEngine) Infer(w []int32) (kernels.Judgment, int64, error) {
+	c.calls++
+	return c.Backend.Infer(w)
+}
+
+// TestOpenEngineWrap: WithEngineWrap intercepts every lane's Infer calls
+// and a contract-preserving wrapper leaves the judgment stream untouched.
+func TestOpenEngineWrap(t *testing.T) {
+	dep := trainLSTMDeployment(t, "458.sjeng")
+	stream := captureStream(t, "458.sjeng", 600_000)
+
+	run := func(opts ...Option) []Judged {
+		s, err := Open(Deployments{dep}, append([]Option{WithTraceInput(0)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FeedTrace(stream); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Results()
+	}
+	want := run()
+	var wrapped *countingEngine
+	got := run(WithEngineWrap(func(b kernels.Backend) kernels.Backend {
+		wrapped = &countingEngine{Backend: b}
+		return wrapped
+	}))
+	if wrapped == nil || wrapped.calls == 0 {
+		t.Fatal("EngineWrap wrapper never saw an Infer call")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("wrapped session judged %d vectors, unwrapped %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Rec.Judgment != want[i].Rec.Judgment || got[i].Rec.Done != want[i].Rec.Done {
+			t.Fatalf("judgment %d diverged under EngineWrap: %+v vs %+v", i, got[i].Rec, want[i].Rec)
+		}
+	}
+	if wrapped.calls != len(got) {
+		t.Fatalf("wrapper saw %d Infer calls for %d judgments", wrapped.calls, len(got))
+	}
+}

@@ -38,6 +38,13 @@ type PipelineConfig struct {
 	// backends replay WAIT_DONE timing from; passing one table to every
 	// pipeline in a run amortises the one-time GPU calibration pass.
 	Calibration *kernels.Calibration
+	// EngineWrap, when non-nil, wraps the constructed inference backend
+	// before the MCM sees it. This is the serving layer's interception
+	// point: a cross-session batching coordinator substitutes an engine
+	// whose Infer parks the vector in a shared micro-batch. Wrappers must
+	// preserve the Backend contract — same judgments, cycles and errors as
+	// the wrapped engine would produce on the same stream.
+	EngineWrap func(kernels.Backend) kernels.Backend
 	// SharedEngine and Bus support multi-model deployments: pass the same
 	// token/interconnect to several pipelines so their MCMs contend for
 	// one compute engine and one switch (see RunDualDetection).
@@ -113,7 +120,11 @@ type Pipeline struct {
 
 	acceptedRetire []sim.Time
 	judged         []Judged
-	err            error
+	// pendIdx indexes the judged entries whose Rec.Pending is set: vectors
+	// the MCM has fully timed but not yet judged (deferred judgment). They
+	// resolve in one fused engine call at SettleJudgments.
+	pendIdx []int
+	err     error
 
 	// Per-branch scratch buffers: BranchRetired and drain run once per
 	// retired branch, so every stage hand-off reuses these instead of
@@ -157,6 +168,9 @@ func NewPipeline(dep *Deployment, cfg PipelineConfig) (*Pipeline, error) {
 	engine, err := kernels.NewBackend(cfg.Backend, spec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.EngineWrap != nil {
+		engine = cfg.EngineWrap(engine)
 	}
 	mod, err := mcm.New(mcm.Config{
 		Engine:    engine,
@@ -247,11 +261,16 @@ func (p *Pipeline) drain() {
 		// recycled — ownership transfers to the judgment record.
 		j := Judged{Vector: v, Rec: rec, FinalRetire: retire}
 		p.judged = append(p.judged, j)
+		if rec.Pending {
+			p.pendIdx = append(p.pendIdx, len(p.judged)-1)
+		}
 		if p.obsJudgments != nil {
 			p.obsJudgments.Inc()
 			latUS := float64(j.JudgmentLatency()) / float64(sim.Microsecond)
 			p.latHist.Observe(latUS)
-			if p.judgTrack != nil {
+			// Deferred records have no judgment yet; the track instant needs
+			// it, but deferral is only enabled when tracing is off.
+			if p.judgTrack != nil && !rec.Pending {
 				p.judgTrack.Instant("judgment", int64(rec.Done), map[string]any{
 					"seq": v.Seq, "latency_us": latUS, "anomaly": rec.Judgment.Anomaly,
 				})
@@ -272,6 +291,28 @@ func (p *Pipeline) Flush(at sim.Time) {
 		p.ig.FeedWord(w)
 	}
 	p.drain()
+}
+
+// SettleJudgments resolves every deferred judgment in one fused engine
+// call (a no-op when nothing is pending). Callers must settle before
+// reading Judged entries appended since the last settle — Session.deliver
+// does, so streaming consumers never see a pending record.
+func (p *Pipeline) SettleJudgments() {
+	if len(p.pendIdx) == 0 {
+		return
+	}
+	js, err := p.mod.Settle()
+	if err != nil {
+		if p.err == nil {
+			p.err = err
+		}
+		p.pendIdx = p.pendIdx[:0]
+		return
+	}
+	for k, idx := range p.pendIdx {
+		p.mod.Complete(&p.judged[idx].Rec, js[k])
+	}
+	p.pendIdx = p.pendIdx[:0]
 }
 
 // Judged returns every vector that reached a judgment, in order.

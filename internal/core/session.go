@@ -258,6 +258,9 @@ func (s *Session) Drain() error {
 func (s *Session) deliver() {
 	for _, ln := range s.lanes {
 		ln := ln
+		// Deferred judgments must resolve before the records are copied
+		// into delivery closures below.
+		ln.pipe.SettleJudgments()
 		judged := ln.pipe.Judged()
 		for i := ln.delivered; i < len(judged); i++ {
 			j := judged[i]

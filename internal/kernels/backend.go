@@ -45,6 +45,47 @@ type Backend interface {
 	// Infer runs one inference and returns the judgment plus the engine
 	// cycles the MCM waits out in WAIT_DONE.
 	Infer(window []int32) (Judgment, int64, error)
+	// InferBatch runs len(windows) consecutive inferences on this
+	// backend's judgment stream, exactly equivalent to calling Infer once
+	// per window in order: same judgments, same per-vector cycle charges,
+	// same persistent state afterwards. Backends with a batched kernel
+	// amortise the state-independent arithmetic; others loop (InferLoop).
+	// A batch that fails validation may leave the stream less advanced
+	// than the equivalent Infer sequence would at the failing window.
+	// Returned slices are only valid until the next call on this backend.
+	InferBatch(windows [][]int32) ([]Judgment, []int64, error)
+}
+
+// FixedCoster is the optional contract behind deferred judgment: a backend
+// whose per-inference cycle cost is a known constant reports it here
+// BEFORE running the inference. The MCM can then compute a vector's full
+// WAIT_DONE timeline — and hence FIFO admission of everything behind it —
+// at push time and postpone the arithmetic itself, which is what lets the
+// serving layer coalesce a whole trace chunk into one InferBatch call.
+// Calibrated native backends qualify (deployed kernels cost the same
+// cycles for every input); ok stays false until the shape is calibrated,
+// and for the cycle-accurate GPU sim, which must run to know its timing.
+type FixedCoster interface {
+	FixedCost() (cycles int64, ok bool)
+}
+
+// InferLoop is the reference InferBatch: one Infer per window, in order.
+// It is the fallback for backends without a batched kernel (the
+// cycle-accurate GPU sim steps its pipeline model per dispatch and cannot
+// fuse inferences) and the semantic yardstick the batched paths are tested
+// against.
+func InferLoop(b Backend, windows [][]int32) ([]Judgment, []int64, error) {
+	js := make([]Judgment, len(windows))
+	cycles := make([]int64, len(windows))
+	for i, w := range windows {
+		j, cyc, err := b.Infer(w)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kernels: batch window %d: %w", i, err)
+		}
+		js[i] = j
+		cycles[i] = cyc
+	}
+	return js, cycles, nil
 }
 
 // Spec carries everything a backend factory needs: the device whose memory

@@ -331,6 +331,12 @@ func (e *ELMEngine) InferRef(window []int32) (Judgment, error) {
 	return Judgment{Anomaly: e.refEwma > e.thrQ, MarginQ: margin, EwmaQ: e.refEwma}, nil
 }
 
+// InferBatch loops Infer: the cycle-accurate sim schedules each dispatch
+// through its pipeline model, so there is nothing to fuse.
+func (e *ELMEngine) InferBatch(windows [][]int32) ([]Judgment, []int64, error) {
+	return InferLoop(e, windows)
+}
+
 // Name implements the backend contract: the GPU engines are the
 // cycle-accurate BackendGPU implementation.
 func (e *ELMEngine) Name() string { return BackendGPU }

@@ -28,7 +28,7 @@ func markovWindows(vocab, window, n int, seed int64) [][]int32 {
 	return out
 }
 
-func trainELM(t *testing.T) *ml.ELM {
+func trainELM(t testing.TB) *ml.ELM {
 	t.Helper()
 	cfg := ml.DefaultELMConfig()
 	m, err := ml.TrainELM(cfg, markovWindows(cfg.Vocab, cfg.Window, 1500, 7))
@@ -39,7 +39,7 @@ func trainELM(t *testing.T) *ml.ELM {
 	return m
 }
 
-func trainLSTM(t *testing.T) *ml.LSTM {
+func trainLSTM(t testing.TB) *ml.LSTM {
 	t.Helper()
 	cfg := ml.DefaultLSTMConfig()
 	cfg.Epochs = 1

@@ -385,6 +385,12 @@ func (e *LSTMEngine) InferRef(window []int32) (Judgment, error) {
 	return Judgment{Anomaly: e.refEwma > e.thrQ, MarginQ: margin, EwmaQ: e.refEwma}, nil
 }
 
+// InferBatch loops Infer: the cycle-accurate sim schedules each dispatch
+// through its pipeline model, so there is nothing to fuse.
+func (e *LSTMEngine) InferBatch(windows [][]int32) ([]Judgment, []int64, error) {
+	return InferLoop(e, windows)
+}
+
 // Name implements the backend contract: the GPU engines are the
 // cycle-accurate BackendGPU implementation.
 func (e *LSTMEngine) Name() string { return BackendGPU }

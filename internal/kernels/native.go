@@ -19,22 +19,118 @@ import (
 // MCM WAIT_DONE timeline — and hence FIFO occupancy, drops and the whole
 // judgment stream — bit-identical to the GPU backend. Shapes missing from
 // the table fall back to one cycle-accurate inference that records itself.
+//
+// The model kind, parameter views and state addresses are explicit fields
+// (rather than closures) so the cross-instance GroupRunner can gather each
+// member's state, run one shared-weight matmul, and scatter results back.
 type nativeBackend struct {
 	name  string
 	key   CalKey
 	calib *Calibration
 	gpu   Backend // cycle-accurate engine over the same device
 	win   int
-	quant func(window []int32) ([]uint32, error)
-	step  func(in []uint32) Judgment
+	mem   []uint32 // the backend's device memory (params + state)
+
+	alphaQ int32
+	thrQ   int32
+
+	// Exactly one of elm/lstm is non-nil.
+	elm  *elmNative
+	lstm *lstmNative
+
+	// calCycles caches the first successful calibration lookup: the value
+	// is immutable once recorded, and skipping the table's RLock on every
+	// inference matters at serving rates.
+	cycles   int64
+	cyclesOK bool
+
+	inBuf []uint32 // quantised-window scratch, one inference at a time
+}
+
+type elmNative struct {
+	model  *ml.ELM
+	params *ml.ELMParamsQ
+}
+
+type lstmNative struct {
+	model  *ml.LSTM
+	params *ml.LSTMParamsQ
+	h, c   []int32 // single-step scratch mirroring mem[LSTMH/LSTMC]
 }
 
 func (n *nativeBackend) Name() string { return n.name }
 
 func (n *nativeBackend) Window() int { return n.win }
 
+// calCycles returns the calibrated per-inference cost, caching the table
+// hit so the hot path stops touching the shared table's lock.
+func (n *nativeBackend) calCycles() (int64, bool) {
+	if n.cyclesOK {
+		return n.cycles, true
+	}
+	cyc, ok := n.calib.Lookup(n.key)
+	if ok {
+		n.cycles, n.cyclesOK = cyc, true
+	}
+	return cyc, ok
+}
+
+// quantInto validates and quantises window into dst (win words), the
+// allocation-free core of the engines' InputWords.
+func (n *nativeBackend) quantInto(dst []uint32, window []int32) error {
+	if len(window) != n.win {
+		return fmt.Errorf("kernels: %s window length %d, want %d", n.key.Model, len(window), n.win)
+	}
+	vocab := int32(ELMVocab)
+	if n.lstm != nil {
+		vocab = LSTMVocab
+	}
+	for i, c := range window {
+		if c < 0 || c >= vocab {
+			return fmt.Errorf("kernels: class %d outside %s vocab", c, n.key.Model)
+		}
+		dst[i] = uint32(c)
+	}
+	return nil
+}
+
+// step runs one native inference over the quantised input, updating the
+// canonical device-memory state exactly as the kernels would.
+func (n *nativeBackend) step(in []uint32) Judgment {
+	mem := n.mem
+	if e := n.elm; e != nil {
+		copy(mem[ELMIn:ELMIn+ELMWindow], in)
+		margin := e.params.MarginQ(in)
+		ewma := ml.EwmaStepQ(int32(mem[ELMEwma]), margin, n.alphaQ)
+		mem[ELMEwma] = uint32(ewma)
+		j := Judgment{Anomaly: ewma > n.thrQ, MarginQ: margin, EwmaQ: ewma}
+		writeOut(mem[ELMOut:], j)
+		return j
+	}
+	l := n.lstm
+	copy(mem[LSTMIn:LSTMIn+LSTMWindow], in)
+	for i := 0; i < LSTMHidden; i++ {
+		l.h[i] = int32(mem[LSTMH+i])
+		l.c[i] = int32(mem[LSTMC+i])
+	}
+	margin := l.params.StepQ(l.h, l.c, in)
+	for i := 0; i < LSTMHidden; i++ {
+		mem[LSTMH+i] = uint32(l.h[i])
+		mem[LSTMC+i] = uint32(l.c[i])
+	}
+	ewma := ml.EwmaStepQ(int32(mem[LSTMEwma]), margin, n.alphaQ)
+	mem[LSTMEwma] = uint32(ewma)
+	j := Judgment{Anomaly: ewma > n.thrQ, MarginQ: margin, EwmaQ: ewma}
+	writeOut(mem[LSTMOut:], j)
+	return j
+}
+
+// FixedCost implements FixedCoster: once the shape is calibrated every
+// inference replays the same recorded cycle cost.
+func (n *nativeBackend) FixedCost() (int64, bool) { return n.calCycles() }
+
 func (n *nativeBackend) Infer(window []int32) (Judgment, int64, error) {
-	cycles, ok := n.calib.Lookup(n.key)
+	cycles, ok := n.calCycles()
 	if !ok {
 		j, cyc, err := n.gpu.Infer(window)
 		if err == nil {
@@ -42,11 +138,45 @@ func (n *nativeBackend) Infer(window []int32) (Judgment, int64, error) {
 		}
 		return j, cyc, err
 	}
-	in, err := n.quant(window)
-	if err != nil {
+	if err := n.quantInto(n.inBuf, window); err != nil {
 		return Judgment{}, 0, err
 	}
-	return n.step(in), cycles, nil
+	return n.step(n.inBuf), cycles, nil
+}
+
+// InferBatch advances this backend's own stream by len(windows) steps. For
+// the ELM the margins are state-independent, so one MarginBatchQ matmul
+// computes them all before the EWMA chain folds them in order; the LSTM's
+// consecutive steps chain through h/c and must run sequentially (the
+// matmul pays off across sessions — see GroupRunner). Uncalibrated shapes
+// loop Infer: the first falls back to the GPU sim and records, the rest
+// run native.
+func (n *nativeBackend) InferBatch(windows [][]int32) ([]Judgment, []int64, error) {
+	cycles, ok := n.calCycles()
+	if !ok || n.elm == nil {
+		return InferLoop(n, windows)
+	}
+	nw := len(windows)
+	block := make([]uint32, nw*ELMWindow)
+	for i, w := range windows {
+		if err := n.quantInto(block[i*ELMWindow:(i+1)*ELMWindow], w); err != nil {
+			return nil, nil, fmt.Errorf("kernels: batch window %d: %w", i, err)
+		}
+	}
+	margins := make([]int32, nw)
+	n.elm.params.MarginBatchQ(block, nw, margins)
+	js := make([]Judgment, nw)
+	costs := make([]int64, nw)
+	mem := n.mem
+	for i := 0; i < nw; i++ {
+		copy(mem[ELMIn:ELMIn+ELMWindow], block[i*ELMWindow:(i+1)*ELMWindow])
+		ewma := ml.EwmaStepQ(int32(mem[ELMEwma]), margins[i], n.alphaQ)
+		mem[ELMEwma] = uint32(ewma)
+		js[i] = Judgment{Anomaly: ewma > n.thrQ, MarginQ: margins[i], EwmaQ: ewma}
+		writeOut(mem[ELMOut:], js[i])
+		costs[i] = cycles
+	}
+	return js, costs, nil
 }
 
 func newNativeBackend(name string, s Spec) (Backend, error) {
@@ -71,42 +201,20 @@ func newNativeBackend(name string, s Spec) (Backend, error) {
 		calib: calib,
 		gpu:   eng,
 		win:   win,
+		mem:   s.Dev.Mem,
+		inBuf: make([]uint32, win),
 	}
-	mem := s.Dev.Mem
 	switch e := eng.(type) {
 	case *ELMEngine:
-		params := ELMParamsView(mem)
-		n.quant = e.InputWords
-		n.step = func(in []uint32) Judgment {
-			copy(mem[ELMIn:ELMIn+ELMWindow], in)
-			margin := params.MarginQ(in)
-			ewma := ml.EwmaStepQ(int32(mem[ELMEwma]), margin, e.alphaQ)
-			mem[ELMEwma] = uint32(ewma)
-			j := Judgment{Anomaly: ewma > e.thrQ, MarginQ: margin, EwmaQ: ewma}
-			writeOut(mem[ELMOut:], j)
-			return j
-		}
+		n.alphaQ, n.thrQ = e.alphaQ, e.thrQ
+		n.elm = &elmNative{model: e.Model, params: ELMParamsView(n.mem)}
 	case *LSTMEngine:
-		params := LSTMParamsView(mem)
-		h := make([]int32, LSTMHidden)
-		c := make([]int32, LSTMHidden)
-		n.quant = e.InputWords
-		n.step = func(in []uint32) Judgment {
-			copy(mem[LSTMIn:LSTMIn+LSTMWindow], in)
-			for i := 0; i < LSTMHidden; i++ {
-				h[i] = int32(mem[LSTMH+i])
-				c[i] = int32(mem[LSTMC+i])
-			}
-			margin := params.StepQ(h, c, in)
-			for i := 0; i < LSTMHidden; i++ {
-				mem[LSTMH+i] = uint32(h[i])
-				mem[LSTMC+i] = uint32(c[i])
-			}
-			ewma := ml.EwmaStepQ(int32(mem[LSTMEwma]), margin, e.alphaQ)
-			mem[LSTMEwma] = uint32(ewma)
-			j := Judgment{Anomaly: ewma > e.thrQ, MarginQ: margin, EwmaQ: ewma}
-			writeOut(mem[LSTMOut:], j)
-			return j
+		n.alphaQ, n.thrQ = e.alphaQ, e.thrQ
+		n.lstm = &lstmNative{
+			model:  e.Model,
+			params: LSTMParamsView(n.mem),
+			h:      make([]int32, LSTMHidden),
+			c:      make([]int32, LSTMHidden),
 		}
 	}
 	if name == BackendNativeCalibrated {

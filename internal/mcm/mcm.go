@@ -99,6 +99,10 @@ type Record struct {
 	IRQAt     sim.Time // interrupt time (zero value if no anomaly)
 	Judgment  kernels.Judgment
 	GPUCycles int64
+	// Pending marks a deferred record: the timeline above is final but the
+	// Judgment (and IRQAt) will only be filled in by Settle/Complete. See
+	// the deferred-judgment notes on Push.
+	Pending bool
 }
 
 // Stats aggregates module activity.
@@ -140,6 +144,15 @@ type MCM struct {
 	// winBuf is the protocol-conversion scratch window, reused across Push
 	// calls; engines copy their input immediately, so it never escapes.
 	winBuf []int32
+
+	// Deferred-judgment state. fixed is the engine's FixedCoster view (nil
+	// if unsupported, or if tracing is on — deferral would skip the per-span
+	// anomaly annotations). pendArena holds the converted windows of every
+	// deferred vector since the last Settle, back to back; pendWins is the
+	// per-window view rebuilt over it at settle time.
+	fixed     kernels.FixedCoster
+	pendArena []int32
+	pendWins  [][]int32
 
 	obsAccepted  *obs.Counter
 	obsDropped   *obs.Counter
@@ -185,6 +198,12 @@ func New(cfg Config) (*MCM, error) {
 		if m.track != nil {
 			m.track.Instant("backend", 0, map[string]any{"backend": cfg.Engine.Name()})
 		}
+	}
+	if m.track == nil {
+		// Deferred judgment needs the per-vector span annotations off: the
+		// infer span records the judgment at push time. Metrics-only and
+		// untelemetered runs keep the fast path.
+		m.fixed, _ = cfg.Engine.(kernels.FixedCoster)
 	}
 	return m, nil
 }
@@ -286,6 +305,11 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 	}
 
 	m.state = WaitDone
+	if m.fixed != nil {
+		if cycles, ok := m.fixed.FixedCost(); ok {
+			return m.pushDeferred(v, window, start, t, cycles)
+		}
+	}
 	j, gpuCycles, err := m.cfg.Engine.Infer(window)
 	if err != nil {
 		return Record{}, false, fmt.Errorf("mcm: inference: %w", err)
@@ -310,15 +334,48 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 			m.track.Instant("irq", int64(rec.IRQAt), map[string]any{"seq": v.Seq})
 		}
 	}
-	m.stats.Accepted++
-	m.obsAccepted.Inc()
-	m.obsBusyPS.Add(int64(t - start))
-	m.obsOcc.Max(int64(m.stats.MaxOccupancy))
 	if m.track != nil {
 		m.track.Span("infer", int64(start), int64(t), map[string]any{
 			"seq": v.Seq, "gpu_cycles": gpuCycles, "anomaly": j.Anomaly,
 		})
 	}
+	m.finish(start, t)
+	return rec, true, nil
+}
+
+// pushDeferred completes a Push whose WAIT_DONE cost is known before the
+// inference runs. Everything timing-dependent — FIFO admission of later
+// vectors, Done, engine busy accounting — is already decided by the fixed
+// cycle cost, so the arithmetic itself is postponed: the converted window
+// is queued and the record returns with Pending set. Settle later judges
+// all queued windows in one fused InferBatch call, and Complete threads
+// each judgment back into its record. Per-session judgment streams are
+// bit-identical to the synchronous path; only host-side call structure
+// changes, which is what lets a serving batcher coalesce whole trace
+// chunks instead of parking every vector.
+func (m *MCM) pushDeferred(v igm.Vector, window []int32, start, t sim.Time, cycles int64) (Record, bool, error) {
+	t += m.cfg.GPUClock.Duration(cycles)
+	m.state = ReadResult
+	t, err := m.cfg.Bus.SingleBeatSeries(axi.Read, t, axi.MLMIAOWBase+0x1000, resultWords)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("mcm: RX: %w", err)
+	}
+	m.pendArena = append(m.pendArena, window...)
+	rec := Record{
+		Seq: v.Seq, Arrived: v.At, Started: start, Done: t,
+		GPUCycles: cycles, Pending: true,
+	}
+	m.finish(start, t)
+	return rec, true, nil
+}
+
+// finish applies the bookkeeping every accepted vector shares: aggregate
+// stats, engine busy horizon, and the FIFO start log.
+func (m *MCM) finish(start, t sim.Time) {
+	m.stats.Accepted++
+	m.obsAccepted.Inc()
+	m.obsBusyPS.Add(int64(t - start))
+	m.obsOcc.Max(int64(m.stats.MaxOccupancy))
 	m.stats.BusyTime += t - start
 	m.freeAt = t
 	if m.cfg.Shared != nil {
@@ -332,5 +389,41 @@ func (m *MCM) Push(v igm.Vector) (Record, bool, error) {
 		m.startsHd = 0
 	}
 	m.state = WaitInput
-	return rec, true, nil
+}
+
+// Settle judges every deferred vector queued since the last Settle in one
+// fused Engine.InferBatch call and returns the judgments in push order
+// (nil if nothing is pending). The slice is the engine's batch scratch —
+// consume it before the next engine call. Callers thread each judgment
+// back into its pending Record via Complete.
+func (m *MCM) Settle() ([]kernels.Judgment, error) {
+	if len(m.pendArena) == 0 {
+		return nil, nil
+	}
+	win := m.cfg.Engine.Window()
+	n := len(m.pendArena) / win
+	wins := m.pendWins[:0]
+	for i := 0; i < n; i++ {
+		wins = append(wins, m.pendArena[i*win:(i+1)*win:(i+1)*win])
+	}
+	m.pendWins = wins
+	js, _, err := m.cfg.Engine.InferBatch(wins)
+	m.pendArena = m.pendArena[:0]
+	if err != nil {
+		return nil, fmt.Errorf("mcm: settle: %w", err)
+	}
+	return js, nil
+}
+
+// Complete fills a deferred record with its settled judgment. Anomaly
+// bookkeeping (IRQ time, counters) happens here so Stats end up identical
+// to the synchronous path's.
+func (m *MCM) Complete(rec *Record, j kernels.Judgment) {
+	rec.Judgment = j
+	rec.Pending = false
+	if j.Anomaly {
+		rec.IRQAt = rec.Done + m.cfg.Clock.Duration(irqCycles)
+		m.stats.Anomalies++
+		m.obsAnomalies.Inc()
+	}
 }

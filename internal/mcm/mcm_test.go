@@ -28,6 +28,9 @@ func (f *fakeEngine) Infer(w []int32) (kernels.Judgment, int64, error) {
 	f.calls++
 	return j, f.gpuCycles, nil
 }
+func (f *fakeEngine) InferBatch(ws [][]int32) ([]kernels.Judgment, []int64, error) {
+	return kernels.InferLoop(f, ws)
+}
 
 func vec(seq int64, at sim.Time, classes ...int32) igm.Vector {
 	return igm.Vector{Seq: seq, At: at, Classes: classes}

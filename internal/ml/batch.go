@@ -1,0 +1,259 @@
+package ml
+
+import "rtad/internal/gpu"
+
+// Batched fixed-point inference: the matrix-matrix companions to MarginQ
+// and StepQ. A batch is n independent input rows — in serving terms, one
+// pending vector from each of n sessions deployed from the same trained
+// model. The hot loops run register-blocked over the natural row-major
+// activation layout: four rows advance together with their accumulators
+// held in registers, so each weight word loaded feeds four multiply-adds
+// and the accumulators never touch memory — where the single-vector
+// kernels pay a full weight walk per row for their one register
+// accumulator. That per-block amortisation of the weight stream, plus the
+// per-call bookkeeping paid once per batch, is what the serving scheduler
+// banks on.
+//
+// Bit-identity contract: for every row b, the arithmetic performed on that
+// row — operation order, operand order, Q16.16 rounding — is exactly the
+// sequence MarginQ/StepQ would perform on the same inputs. Integer adds
+// commute across rows but never within one, and the loops only reorder
+// work across rows. A batched pass over n rows therefore equals n
+// independent single-row passes bit-for-bit, which is what lets the
+// serving layer batch across sessions without perturbing any session's
+// judgment stream.
+
+// growQ returns scratch with at least need elements, reusing the backing
+// array when it is already big enough.
+func growQ(s []int32, need int) []int32 {
+	if cap(s) < need {
+		return make([]int32, need)
+	}
+	return s[:need]
+}
+
+// MarginBatchQ runs the ELM forward pass over n windows packed row-major
+// in `in` (n*Window words) and writes the n margin scores to margins.
+// Row b reproduces MarginQ(in[b*Window:(b+1)*Window]) bit-for-bit.
+func (p *ELMParamsQ) MarginBatchQ(in []uint32, n int, margins []int32) {
+	if n == 0 {
+		return
+	}
+	w := p.Window
+	// The ELM weight blocks are small enough that the whole batch runs out
+	// of L1 once the first row has streamed them, so unlike the LSTM the
+	// win here is access order, not weight residency. The hidden pass walks
+	// W1 column-major — each selected input column is Hidden contiguous
+	// words, where MarginQ's row-major walk gathers with stride Hidden —
+	// and the readout streams Beta row-major exactly as MarginQ does.
+	// Per-row accumulation order (j ascending, then row ascending) is
+	// unchanged, so the margins stay bit-identical.
+	p.bsig = growQ(p.bsig, p.Hidden)
+	p.bvec = growQ(p.bvec, p.Vocab)
+	accs, logits := p.bsig[:p.Hidden], p.bvec[:p.Vocab]
+	for b := 0; b < n; b++ {
+		win := in[b*w : (b+1)*w]
+		for row, bb := range p.B1[:p.Hidden] {
+			accs[row] = int32(bb)
+		}
+		for j := 0; j < w-1; j++ {
+			col := j*p.Vocab + int(win[j])
+			wcol := p.W1[col*p.Hidden : (col+1)*p.Hidden]
+			for row, wv := range wcol {
+				accs[row] += int32(wv)
+			}
+		}
+		for v := range logits {
+			logits[v] = 0
+		}
+		for row, a := range accs {
+			sig := SigmoidQ(p.SigLUT, a)
+			beta := p.Beta[row*p.Vocab : (row+1)*p.Vocab]
+			for v, bb := range beta {
+				logits[v] += gpu.MulQ(sig, int32(bb))
+			}
+		}
+		margins[b] = MarginOfQ(logits, int(win[w-1]))
+	}
+}
+
+// stepBatchTile bounds the rows one blocked pass works on. The tile's
+// scratch (gates dominate: NumGates*Hidden*tile words) has to stay
+// cache-resident together with the weight row being streamed — at 32 rows
+// the deployed LSTM's scratch is ~34KB, and growing the tile further makes
+// the batched pass slower per row than the single-vector kernel it
+// replaces.
+const stepBatchTile = 32
+
+// StepBatchQ advances n independent recurrent streams by one timestep. h
+// and c carry each row's persistent state packed row-major (n*Hidden
+// values each), updated in place; `in` packs the n windows (n*Window
+// words); margins receives the n margin scores. Row b reproduces
+// StepQ(h[b], c[b], in[b]) bit-for-bit. Rows must belong to distinct
+// streams — consecutive timesteps of one stream are sequentially dependent
+// through h/c and cannot share a batch.
+//
+// Batches wider than stepBatchTile run as consecutive tiles; rows never
+// interact, so tiling changes nothing but scratch residency.
+func (p *LSTMParamsQ) StepBatchQ(h, c []int32, in []uint32, n int, margins []int32) {
+	for base := 0; base < n; base += stepBatchTile {
+		t := n - base
+		if t > stepBatchTile {
+			t = stepBatchTile
+		}
+		p.stepBatchTile(h[base*p.Hidden:], c[base*p.Hidden:], in[base*p.Window:], t, margins[base:])
+	}
+}
+
+func (p *LSTMParamsQ) stepBatchTile(h, c []int32, in []uint32, n int, margins []int32) {
+	if n == 0 {
+		return
+	}
+	xw := p.Embed + p.Hidden
+	H := p.Hidden
+	GH := NumGates * H
+	// All batch scratch stays row-major (batch-outer): the kernel is
+	// ALU-bound at deployed dims, so the win comes from sharing each
+	// streamed weight word across four register accumulators — a
+	// transposed activation layout would add scatter/gather traffic
+	// without feeding the multipliers any faster.
+	p.bxh = growQ(p.bxh, n*xw)
+	p.bgates = growQ(p.bgates, n*GH)
+	p.blogits = growQ(p.blogits, n*p.Vocab)
+	bxh, bgates, blogits := p.bxh, p.bgates, p.blogits
+
+	// Window embedding per row (an Emb gather, inherently row-local),
+	// concatenated with the row's previous hidden state — exactly StepQ's
+	// xh vector, one per row.
+	for b := 0; b < n; b++ {
+		xh := bxh[b*xw : (b+1)*xw]
+		for i := range xh {
+			xh[i] = 0
+		}
+		win := in[b*p.Window : (b+1)*p.Window]
+		for j := 0; j < p.Window-1; j++ {
+			cls := int(win[j])
+			pw := int32(p.PosW[j])
+			emb := p.Emb[cls*p.Embed : (cls+1)*p.Embed]
+			for e, w := range emb {
+				xh[e] += gpu.MulQ(int32(w), pw)
+			}
+		}
+		copy(xh[p.Embed:], h[b*H:(b+1)*H])
+	}
+
+	// Gates: register-blocked accumulation. Four rows advance together with
+	// their accumulators held in registers, so each weight word costs one
+	// load feeding four multiply-adds; the activations stream as four
+	// stride-1 rows. Per-row accumulation order stays k-ascending,
+	// preserving bit-identity with StepQ.
+	for g := 0; g < NumGates; g++ {
+		for r := 0; r < H; r++ {
+			gi := g*H + r
+			bg := int32(p.Bg[gi])
+			wrow := p.Wg[gi*xw : (gi+1)*xw]
+			lut := p.SigLUT
+			if g == GateG {
+				lut = p.TanhLUT
+			}
+			b0 := 0
+			for ; b0+4 <= n; b0 += 4 {
+				a0, a1, a2, a3 := bg, bg, bg, bg
+				x0 := bxh[b0*xw : (b0+1)*xw]
+				x1 := bxh[(b0+1)*xw : (b0+2)*xw]
+				x2 := bxh[(b0+2)*xw : (b0+3)*xw]
+				x3 := bxh[(b0+3)*xw : (b0+4)*xw]
+				for k, wk := range wrow {
+					wv := int32(wk)
+					a0 += gpu.MulQ(wv, x0[k])
+					a1 += gpu.MulQ(wv, x1[k])
+					a2 += gpu.MulQ(wv, x2[k])
+					a3 += gpu.MulQ(wv, x3[k])
+				}
+				if g == GateG {
+					bgates[b0*GH+gi] = TanhQ(lut, a0)
+					bgates[(b0+1)*GH+gi] = TanhQ(lut, a1)
+					bgates[(b0+2)*GH+gi] = TanhQ(lut, a2)
+					bgates[(b0+3)*GH+gi] = TanhQ(lut, a3)
+				} else {
+					bgates[b0*GH+gi] = SigmoidQ(lut, a0)
+					bgates[(b0+1)*GH+gi] = SigmoidQ(lut, a1)
+					bgates[(b0+2)*GH+gi] = SigmoidQ(lut, a2)
+					bgates[(b0+3)*GH+gi] = SigmoidQ(lut, a3)
+				}
+			}
+			for ; b0 < n; b0++ {
+				a := bg
+				xr := bxh[b0*xw : (b0+1)*xw]
+				for k, wk := range wrow {
+					a += gpu.MulQ(int32(wk), xr[k])
+				}
+				if g == GateG {
+					bgates[b0*GH+gi] = TanhQ(lut, a)
+				} else {
+					bgates[b0*GH+gi] = SigmoidQ(lut, a)
+				}
+			}
+		}
+	}
+
+	// State update per row, mirroring StepQ's order; each row's gate bank
+	// is contiguous, and h updates in place for the readout to stream.
+	for b := 0; b < n; b++ {
+		gates := bgates[b*GH : (b+1)*GH]
+		hb := h[b*H : (b+1)*H]
+		cb := c[b*H : (b+1)*H]
+		for r := 0; r < H; r++ {
+			cv := gpu.MulQ(gates[GateF*H+r], cb[r]) +
+				gpu.MulQ(gates[GateI*H+r], gates[GateG*H+r])
+			cb[r] = cv
+			hb[r] = gpu.MulQ(gates[GateO*H+r], TanhQ(p.TanhLUT, cv))
+		}
+	}
+
+	// Readout: the same four-row register blocking, walking an OutW column
+	// per logit. The whole OutW block is L1-resident at deployed dims, so
+	// the strided column walk costs cache loads only while the four logit
+	// accumulators stay in registers; each row's logits land contiguous,
+	// ready for the margin reduction with no gather.
+	vocab := p.Vocab
+	b0 := 0
+	for ; b0+4 <= n; b0 += 4 {
+		h0 := h[b0*H : (b0+1)*H]
+		h1 := h[(b0+1)*H : (b0+2)*H]
+		h2 := h[(b0+2)*H : (b0+3)*H]
+		h3 := h[(b0+3)*H : (b0+4)*H]
+		for v := 0; v < vocab; v++ {
+			ob := int32(p.OutB[v])
+			a0, a1, a2, a3 := ob, ob, ob, ob
+			w := v
+			for k := 0; k < H; k++ {
+				ov := int32(p.OutW[w])
+				a0 += gpu.MulQ(ov, h0[k])
+				a1 += gpu.MulQ(ov, h1[k])
+				a2 += gpu.MulQ(ov, h2[k])
+				a3 += gpu.MulQ(ov, h3[k])
+				w += vocab
+			}
+			blogits[b0*vocab+v] = a0
+			blogits[(b0+1)*vocab+v] = a1
+			blogits[(b0+2)*vocab+v] = a2
+			blogits[(b0+3)*vocab+v] = a3
+		}
+	}
+	for ; b0 < n; b0++ {
+		hr := h[b0*H : (b0+1)*H]
+		for v := 0; v < vocab; v++ {
+			a := int32(p.OutB[v])
+			w := v
+			for k := 0; k < H; k++ {
+				a += gpu.MulQ(int32(p.OutW[w]), hr[k])
+				w += vocab
+			}
+			blogits[b0*vocab+v] = a
+		}
+	}
+	for b := 0; b < n; b++ {
+		margins[b] = MarginOfQ(blogits[b*vocab:(b+1)*vocab], int(in[(b+1)*p.Window-1]))
+	}
+}

@@ -26,6 +26,11 @@ type ELMParamsQ struct {
 	Beta   []uint32 // [Hidden][Vocab] readout weights
 
 	logits []int32
+
+	// Batched-pass scratch (MarginBatchQ): hidden accumulators [Hidden]
+	// and a logits vector [Vocab].
+	bsig []int32
+	bvec []int32
 }
 
 // MarginQ runs one forward pass over the quantised input words (Window
@@ -77,6 +82,12 @@ type LSTMParamsQ struct {
 	xh     []int32
 	gates  []int32
 	logits []int32
+
+	// Batched-pass scratch (StepBatchQ), row-major with the batch outer:
+	// xh [n][Embed+Hidden], gates [n][NumGates*Hidden], logits [n][Vocab].
+	bxh     []int32
+	bgates  []int32
+	blogits []int32
 }
 
 // StepQ advances the recurrent state by one timestep: h and c (Hidden

@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rtad/internal/kernels"
+	"rtad/internal/obs"
+)
+
+// compareJudgments requires two wire judgment streams to be identical; the
+// 41-byte frame encoding is a pure function of the struct, so struct
+// equality is byte equality on the wire.
+func compareJudgments(t *testing.T, label string, got, want []Judgment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: judged %d vectors, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: judgment %d diverged:\n got %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchedE2EBitIdentical is the tentpole acceptance test: with
+// micro-batching enabled and several sessions of *different backends*
+// streaming concurrently (mixed batches), every session's judgment stream
+// and detection summary are byte-identical to the unbatched in-process
+// reference for its backend. Run under -race in CI.
+func TestBatchedE2EBitIdentical(t *testing.T) {
+	dep, stream := fixtures(t)
+	short := stream[:len(stream)/4]
+	backends := []string{kernels.BackendGPU, kernels.BackendNative, kernels.BackendNativeCalibrated}
+
+	wantJ := map[string][]Judgment{}
+	for _, b := range backends {
+		wantJ[b], _ = referenceRun(t, dep, b, short)
+		if len(wantJ[b]) == 0 {
+			t.Fatal("reference run judged nothing; lengthen the fixture")
+		}
+	}
+
+	tel := obs.NewMetricsOnly()
+	addr := startServer(t, Config{
+		Workers:     4,
+		BatchWindow: 100 * time.Microsecond,
+		BatchMax:    8,
+		Telemetry:   tel,
+	}, dep)
+
+	// Two clients per backend, all concurrent: batches mix backends and
+	// sessions freely.
+	var wg sync.WaitGroup
+	errs := make([]error, 2*len(backends))
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			backend := backends[i%len(backends)]
+			c, err := Dial(addr, Hello{
+				Benchmark: fixBench, Model: "lstm", Backend: backend, Attack: testAttack,
+			}, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			chunk := 2048 * (i + 1)
+			for off := 0; off < len(short); off += chunk {
+				end := off + chunk
+				if end > len(short) {
+					end = len(short)
+				}
+				if err := c.Send(short[off:end]); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			sum, err := c.Finish()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got := c.Judgments()
+			want := wantJ[backend]
+			if len(got) != len(want) {
+				errs[i] = fmt.Errorf("client %d (%s): judged %d, want %d", i, backend, len(got), len(want))
+				return
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					errs[i] = fmt.Errorf("client %d (%s): judgment %d diverged under batching:\n got %+v\nwant %+v",
+						i, backend, k, got[k], want[k])
+					return
+				}
+			}
+			if sum.Judged != len(want) {
+				errs[i] = fmt.Errorf("client %d (%s): summary judged %d, want %d", i, backend, sum.Judged, len(want))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	if rows := tel.Reg.Counter("rtad_serve_batch_rows_total").Value(); rows == 0 {
+		t.Error("no inferences went through the batching coordinator")
+	}
+	if n := tel.Reg.Histogram("rtad_serve_batch_size", BatchSizeBuckets).Count(); n == 0 {
+		t.Error("batch-size histogram recorded nothing")
+	}
+	if n := tel.Reg.Histogram("rtad_serve_batch_infer_latency_us", BatchLatencyBuckets).Count(); n == 0 {
+		t.Error("batch-latency histogram recorded nothing")
+	}
+	flushes := tel.Reg.Counter("rtad_serve_batch_flush_window_total").Value() +
+		tel.Reg.Counter("rtad_serve_batch_flush_full_total").Value() +
+		tel.Reg.Counter("rtad_serve_batch_flush_starve_total").Value() +
+		tel.Reg.Counter("rtad_serve_batch_flush_drain_total").Value()
+	if flushes == 0 {
+		t.Error("no batch flushes counted")
+	}
+}
+
+// TestBatchedVsUnbatchedSoloClient pins the window-0 contract from the
+// other side: one client against a batched server equals the same client
+// against an unbatched server (batch size 1, window flushes).
+func TestBatchedVsUnbatchedSoloClient(t *testing.T) {
+	dep, stream := fixtures(t)
+	short := stream[:len(stream)/8]
+
+	run := func(cfg Config) []Judgment {
+		addr := startServer(t, cfg, dep)
+		c, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm", Backend: kernels.BackendNative}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamChunks(t, c, short, 8192)
+		return c.Judgments()
+	}
+	unbatched := run(Config{})
+	batched := run(Config{BatchWindow: 50 * time.Microsecond, BatchMax: 4})
+	if len(unbatched) == 0 {
+		t.Fatal("no judgments; lengthen the fixture")
+	}
+	compareJudgments(t, "solo batched client", batched, unbatched)
+}
+
+// TestDrainFlushesPartialBatches: with a window far longer than the test
+// and an unreachable BatchMax, nothing times out or fills — only starve
+// flushes (batch-size adaptation) and the shutdown drain can release
+// parked work. Every in-flight session must still deliver its full
+// judgment stream and summary frame through Shutdown, and the streams must
+// match the unbatched reference. (Whether any batch is actually pending at
+// the drain instant depends on scheduling, so the drain counter itself is
+// pinned by the deterministic TestBatcherDrainReleasesParked below.)
+func TestDrainFlushesPartialBatches(t *testing.T) {
+	dep, stream := fixtures(t)
+	short := stream[:len(stream)/8]
+	want, _ := referenceRun(t, dep, kernels.BackendNative, short)
+
+	tel := obs.NewMetricsOnly()
+	srv := NewServer(Config{
+		Workers:     2,
+		BatchWindow: 10 * time.Minute, // never expires within the test
+		BatchMax:    1 << 20,          // never fills
+		Telemetry:   tel,
+	})
+	srv.Deploy(dep)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	const clients = 3
+	type result struct {
+		sum *Summary
+		js  []Judgment
+		err error
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, Hello{
+				Benchmark: fixBench, Model: "lstm", Backend: kernels.BackendNative, Attack: testAttack,
+			}, nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			for off := 0; off < len(short); off += 8192 {
+				end := off + 8192
+				if end > len(short) {
+					end = len(short)
+				}
+				if err := c.Send(short[off:end]); err != nil {
+					results[i].err = err
+					return
+				}
+			}
+			// Finish blocks: the session is parked in a batch that only a
+			// drain flush will release.
+			results[i].sum, results[i].err = c.Finish()
+			results[i].js = c.Judgments()
+		}(i)
+	}
+
+	// Let the sessions reach their first parked inference, then shut down.
+	time.Sleep(300 * time.Millisecond)
+	srv.Shutdown(time.Minute)
+	wg.Wait()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("client %d did not finish cleanly through the drain: %v", i, r.err)
+		}
+		if r.sum == nil {
+			t.Fatalf("client %d got no summary frame", i)
+		}
+		compareJudgments(t, fmt.Sprintf("client %d", i), r.js, want)
+	}
+	if n := tel.Reg.Counter("rtad_serve_batch_flush_window_total").Value(); n != 0 {
+		t.Errorf("window flushes counted (%d) with a 10-minute window", n)
+	}
+	if n := tel.Reg.Counter("rtad_serve_batch_flush_full_total").Value(); n != 0 {
+		t.Errorf("full flushes counted (%d) with an unreachable BatchMax", n)
+	}
+}
+
+// stubBackend is a minimal deterministic Backend for coordinator unit
+// tests: the judgment echoes the first window word, so delivery mixups
+// are visible.
+type stubBackend struct{ calls int }
+
+func (s *stubBackend) Name() string { return "stub" }
+func (s *stubBackend) Window() int  { return 3 }
+func (s *stubBackend) Infer(w []int32) (kernels.Judgment, int64, error) {
+	s.calls++
+	return kernels.Judgment{MarginQ: w[0]}, 7, nil
+}
+func (s *stubBackend) InferBatch(ws [][]int32) ([]kernels.Judgment, []int64, error) {
+	return kernels.InferLoop(s, ws)
+}
+
+// waitParked polls until n requests are parked with the coordinator.
+func waitParked(t *testing.T, b *batcher, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		cur := len(b.cur)
+		b.mu.Unlock()
+		if cur >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never reached %d parked requests (have %d)", n, cur)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatcherDrainReleasesParked pins the drain flush deterministically:
+// with two registered producers, a lone submitter parks (the coordinator
+// expects the second producer to contribute or flush), and only startDrain
+// releases it.
+func TestBatcherDrainReleasesParked(t *testing.T) {
+	tel := obs.NewMetricsOnly()
+	b := newBatcher(10*time.Minute, 1<<20, tel)
+	b.producerUp()
+	b.producerUp() // a second live producer keeps the submitter parked
+	e := b.wrap(&stubBackend{}).(*batchedEngine)
+	done := make(chan error, 1)
+	go func() {
+		js, cycles, err := e.InferBatch([][]int32{{1, 2, 3}, {4, 5, 6}})
+		if err == nil {
+			if len(js) != 2 || len(cycles) != 2 || js[0].MarginQ != 1 || js[1].MarginQ != 4 {
+				err = fmt.Errorf("bad results: js=%+v cycles=%v", js, cycles)
+			}
+		}
+		done <- err
+	}()
+	waitParked(t, b, 1)
+	select {
+	case err := <-done:
+		t.Fatalf("parked inference returned before drain (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.startDrain()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := b.mFlushDrain.Value(); n != 1 {
+		t.Fatalf("drain flushes = %d, want 1", n)
+	}
+	if n := b.mFlushStarve.Value(); n != 0 {
+		t.Fatalf("starve flushes = %d, want 0", n)
+	}
+	b.producerDown()
+	b.producerDown()
+	b.close()
+}
+
+// TestBatcherStarveFlush pins the starve rule: when every registered
+// producer is parked in the batch, the last submitter yields once and then
+// flushes inline rather than waiting out the window.
+func TestBatcherStarveFlush(t *testing.T) {
+	tel := obs.NewMetricsOnly()
+	b := newBatcher(10*time.Minute, 1<<20, tel)
+	b.producerUp()
+	e := b.wrap(&stubBackend{}).(*batchedEngine)
+	j, cycles, err := e.Infer([]int32{9, 8, 7}) // sole producer: flushes itself
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.MarginQ != 9 || cycles != 7 {
+		t.Fatalf("bad result: %+v / %d", j, cycles)
+	}
+	if n := b.mFlushStarve.Value(); n != 1 {
+		t.Fatalf("starve flushes = %d, want 1", n)
+	}
+	b.producerDown()
+	b.close()
+}
+
+// TestBatcherProducerExitFlushes pins the producer-exit path: a parked
+// batch whose last outside producer leaves flushes on that producer's way
+// out instead of waiting for the window.
+func TestBatcherProducerExitFlushes(t *testing.T) {
+	tel := obs.NewMetricsOnly()
+	b := newBatcher(10*time.Minute, 1<<20, tel)
+	b.producerUp()
+	b.producerUp()
+	e := b.wrap(&stubBackend{}).(*batchedEngine)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.InferBatch([][]int32{{5, 5, 5}})
+		done <- err
+	}()
+	waitParked(t, b, 1)
+	b.producerDown() // the non-submitting producer exits its chunk
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := b.mFlushStarve.Value(); n != 1 {
+		t.Fatalf("starve flushes = %d, want 1", n)
+	}
+	b.producerDown()
+	b.close()
+}
+
+// TestHelloStride: a client-selected stride is honoured, echoed in the
+// welcome, and denser than the default; a negative stride is rejected.
+func TestHelloStride(t *testing.T) {
+	dep, stream := fixtures(t)
+	short := stream[:len(stream)/8]
+	addr := startServer(t, Config{}, dep)
+
+	run := func(stride int) (*Welcome, []Judgment) {
+		c, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm", Stride: stride}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := c.Welcome()
+		streamChunks(t, c, short, 8192)
+		return &w, c.Judgments()
+	}
+	wDefault, jDefault := run(0)
+	if wDefault.Stride == 0 {
+		t.Fatal("welcome did not echo the resolved stride")
+	}
+	wDense, jDense := run(wDefault.Stride / 4)
+	if wDense.Stride != wDefault.Stride/4 {
+		t.Fatalf("welcome stride %d, asked for %d", wDense.Stride, wDefault.Stride/4)
+	}
+	if len(jDense) <= len(jDefault) {
+		t.Fatalf("quarter stride judged %d vectors, default stride %d — expected denser", len(jDense), len(jDefault))
+	}
+
+	_, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm", Stride: -1}, nil)
+	var em *ErrorMsg
+	if !errors.As(err, &em) || em.Code != ErrBadHello {
+		t.Fatalf("negative stride: got %v, want bad-hello rejection", err)
+	}
+}
+
+// TestClientContextCancel: cancelling the DialContext context unblocks a
+// client mid-session with a context-attributed error.
+func TestClientContextCancel(t *testing.T) {
+	dep, stream := fixtures(t)
+	addr := startServer(t, Config{}, dep)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := DialContext(ctx, addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(stream[:4096]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	_, err = c.Finish()
+	if err == nil {
+		t.Fatal("Finish succeeded after the context was cancelled")
+	}
+	if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "cancel") &&
+		!strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Finish error not attributable to cancellation: %v", err)
+	}
+
+	// An already-cancelled context never dials.
+	cancelled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := DialContext(cancelled, addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil); err == nil {
+		t.Fatal("DialContext succeeded with a cancelled context")
+	}
+}
+
+// TestClientOpTimeout: a server that stops responding trips the per-op
+// timeout rather than hanging the client forever.
+func TestClientOpTimeout(t *testing.T) {
+	// A listener that completes the handshake and then goes silent.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1<<16)
+		if _, _, _, err := ReadFrame(conn, buf); err != nil { // hello
+			return
+		}
+		writeJSON(conn, FrameWelcome, &Welcome{Proto: Proto, Session: "s-silent"})
+		time.Sleep(time.Minute) // never answer again
+	}()
+
+	c, err := Dial(ln.Addr().String(), Hello{Benchmark: "x", Model: "lstm"}, nil,
+		WithOpTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Finish()
+	if err == nil {
+		t.Fatal("Finish succeeded against a silent server")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("per-op timeout did not bound the wait: %v", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -21,6 +22,7 @@ type Client struct {
 	conn    net.Conn
 	welcome Welcome
 	timeout time.Duration
+	ctx     context.Context
 
 	onJudgment func(Judgment)
 	mu         sync.Mutex
@@ -31,8 +33,24 @@ type Client struct {
 	err        error
 }
 
-// DialTimeout bounds the handshake and each subsequent read/write.
+// DialTimeout bounds the handshake and each subsequent read/write unless
+// WithOpTimeout overrides it.
 const DialTimeout = time.Minute
+
+// ClientOption tunes a Dial/DialContext call.
+type ClientOption func(*Client)
+
+// WithOpTimeout sets the per-operation deadline applied to every write
+// (Send, Finish) and to the gap between received frames — the bound that
+// keeps a stalled daemon from hanging the client. 0 or negative keeps
+// DialTimeout.
+func WithOpTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
 
 // Dial connects to an rtadd server, negotiates a session with hello
 // (hello.Proto defaults to Proto if empty), and starts receiving. A non-nil
@@ -40,31 +58,65 @@ const DialTimeout = time.Minute
 // arrives; with nil, judgments accumulate and Judgments returns them after
 // Finish. A server rejection (busy, draining, bad hello) is returned as an
 // *ErrorMsg error.
-func Dial(addr string, hello Hello, onJudgment func(Judgment)) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+func Dial(addr string, hello Hello, onJudgment func(Judgment), opts ...ClientOption) (*Client, error) {
+	return DialContext(context.Background(), addr, hello, onJudgment, opts...)
+}
+
+// DialContext is Dial under a context: the dial and handshake observe
+// ctx's deadline and cancellation, and cancelling ctx after the handshake
+// closes the connection, unblocking any Send/Finish in flight (which then
+// return ctx's error).
+func DialContext(ctx context.Context, addr string, hello Hello, onJudgment func(Judgment), opts ...ClientOption) (*Client, error) {
+	d := net.Dialer{Timeout: DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		conn:       conn,
 		timeout:    DialTimeout,
+		ctx:        ctx,
 		onJudgment: onJudgment,
 		readerDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
 	}
 	if hello.Proto == "" {
 		hello.Proto = Proto
 	}
+	// The handshake runs before the reader goroutine exists, so ctx
+	// cancellation is enforced by a temporary watcher.
+	handshakeDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.Close()
+			case <-handshakeDone:
+			}
+		}()
+	}
+	hsErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("serve: dial: %w", cerr)
+		}
+		return err
+	}
 	conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	if err := writeJSON(conn, FrameHello, &hello); err != nil {
+		close(handshakeDone)
 		conn.Close()
-		return nil, fmt.Errorf("serve: sending hello: %w", err)
+		return nil, hsErr(fmt.Errorf("serve: sending hello: %w", err))
 	}
 	conn.SetReadDeadline(time.Now().Add(c.timeout))
 	t, payload, _, err := ReadFrame(conn, nil)
 	if err != nil {
+		close(handshakeDone)
 		conn.Close()
-		return nil, fmt.Errorf("serve: reading welcome: %w", err)
+		return nil, hsErr(fmt.Errorf("serve: reading welcome: %w", err))
 	}
+	close(handshakeDone)
 	switch t {
 	case FrameWelcome:
 		if err := unmarshalFrame(payload, &c.welcome); err != nil {
@@ -77,6 +129,17 @@ func Dial(addr string, hello Hello, onJudgment func(Judgment)) (*Client, error) 
 	default:
 		conn.Close()
 		return nil, fmt.Errorf("serve: expected welcome, got %v", t)
+	}
+	if ctx.Done() != nil {
+		// Post-handshake watcher: cancellation closes the connection, which
+		// unblocks the reader and any in-flight write.
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.conn.Close()
+			case <-c.readerDone:
+			}
+		}()
 	}
 	go c.readLoop()
 	return c, nil
@@ -165,7 +228,11 @@ func (c *Client) readLoop() {
 		t, payload, nbuf, err := ReadFrame(c.conn, buf)
 		buf = nbuf
 		if err != nil {
-			c.err = fmt.Errorf("serve: connection lost: %w", err)
+			if c.ctx != nil && c.ctx.Err() != nil {
+				c.err = fmt.Errorf("serve: session cancelled: %w", c.ctx.Err())
+			} else {
+				c.err = fmt.Errorf("serve: connection lost: %w", err)
+			}
 			return
 		}
 		switch t {

@@ -45,6 +45,17 @@ type Config struct {
 	// GapCycles is the replay pacing offered to clients that don't ask for
 	// one (0 = core.DefaultReplayGap).
 	GapCycles int64
+	// BatchWindow enables cross-session micro-batched inference: pending
+	// vectors from all admitted sessions are collected for up to this much
+	// wall time (or until BatchMax of them are waiting) and judged in one
+	// fused pass. 0 disables batching entirely — every session infers
+	// inline, the pre-batching behaviour. Judgment streams are bit-identical
+	// either way; the window only trades per-vector wait for aggregate
+	// throughput.
+	BatchWindow time.Duration
+	// BatchMax caps one micro-batch (0 = DefaultBatchMax). A full batch
+	// flushes without waiting out the window.
+	BatchMax int
 	// Telemetry records serve metrics (sessions, rejections, queue depth,
 	// bytes, judgments) alongside whatever the registry already holds.
 	Telemetry *obs.Telemetry
@@ -60,9 +71,16 @@ type Config struct {
 // bit-identical judgment streams to a solo in-process run over the same
 // bytes.
 type Server struct {
-	cfg  Config
-	deps map[string]*core.Deployment // "benchmark/model" -> deployment
-	pool *core.Fleet
+	cfg   Config
+	deps  map[string]*core.Deployment // "benchmark/model" -> deployment
+	pool  *core.Fleet
+	batch *batcher // nil when BatchWindow is 0 (unbatched path)
+	// calib is the server-wide cycle-cost table shared by every session's
+	// native backend: the first session of a (model, window, CUs) shape
+	// pays the one-time GPU calibration pass, and every later session
+	// replays it — which also makes deferred judgment (and so chunk-level
+	// batching) available from those sessions' first vector.
+	calib *kernels.Calibration
 
 	mu       sync.Mutex
 	live     int
@@ -103,10 +121,16 @@ func NewServer(cfg Config) *Server {
 		cfg.Logf = func(string, ...any) {}
 	}
 	tel := cfg.Telemetry
+	var batch *batcher
+	if cfg.BatchWindow > 0 {
+		batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, tel)
+	}
 	return &Server{
 		cfg:        cfg,
 		deps:       map[string]*core.Deployment{},
 		pool:       core.NewFleet(cfg.Workers),
+		batch:      batch,
+		calib:      kernels.NewCalibration(),
 		conns:      map[net.Conn]struct{}{},
 		mLive:      tel.Gauge("rtad_serve_sessions_live"),
 		mTotal:     tel.Counter("rtad_serve_sessions_total"),
@@ -202,6 +226,12 @@ func (s *Server) Shutdown(timeout time.Duration) {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	if s.batch != nil {
+		// Flush the pending batch now and every later arrival immediately:
+		// sessions blocked in a parked inference must progress to their
+		// summary frames for the drain to complete.
+		s.batch.startDrain()
+	}
 
 	done := make(chan struct{})
 	go func() { s.sessions.Wait(); close(done) }()
@@ -226,6 +256,10 @@ func (s *Server) Shutdown(timeout time.Duration) {
 	}
 	s.connWG.Wait()
 	s.pool.Close()
+	if s.batch != nil {
+		// All sessions are done, so nothing can submit anymore.
+		s.batch.close()
+	}
 }
 
 // track registers a connection for force-close; untrack forgets it.
@@ -399,9 +433,26 @@ func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*co
 	if gap <= 0 {
 		gap = core.DefaultReplayGap
 	}
+	if hello.Stride < 0 {
+		return nil, nil, fmt.Errorf("stride must be non-negative, got %d", hello.Stride)
+	}
+	stride := hello.Stride
+	if stride == 0 {
+		if dep.Kind == core.ModelELM {
+			stride = core.DefaultELMStride
+		} else {
+			stride = core.DefaultLSTMStride
+		}
+	}
 	opts := []core.Option{
-		core.WithConfig(core.PipelineConfig{CUs: hello.CUs, Backend: backend}),
+		core.WithConfig(core.PipelineConfig{
+			CUs: hello.CUs, Backend: backend, Stride: stride,
+			Calibration: s.calib,
+		}),
 		core.WithTraceInput(gap),
+	}
+	if s.batch != nil {
+		opts = append(opts, core.WithEngineWrap(s.batch.wrap))
 	}
 	if a := hello.Attack; a != nil {
 		if a.BurstLen <= 0 {
@@ -426,6 +477,7 @@ func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*co
 		Backend:   backend,
 		Window:    dep.Window(),
 		GapCycles: gap,
+		Stride:    stride,
 	}
 	return sess, welcome, nil
 }
@@ -492,6 +544,15 @@ func (r *runner) run() error {
 		}
 	}()
 
+	// The producer brackets tell the batching coordinator when this runner
+	// is inside a chunk — the only stretches where it can park a vector.
+	// Socket writes and queue waits stay outside so a stalled client never
+	// holds a batch open.
+	feed := func(data []byte) error {
+		s.batch.producerUp()
+		defer s.batch.producerDown()
+		return r.sess.FeedTrace(data)
+	}
 	var judgBuf []byte
 	sawEOS := false
 	for msg := range r.q {
@@ -499,7 +560,7 @@ func (r *runner) run() error {
 			sawEOS = true
 			break
 		}
-		if err := r.sess.FeedTrace(msg.data); err != nil {
+		if err := feed(msg.data); err != nil {
 			r.writeError(ErrInternal, err.Error())
 			return fmt.Errorf("serve: %s: %w", r.id, err)
 		}
@@ -513,7 +574,12 @@ func (r *runner) run() error {
 		s.cfg.Logf("serve: %s aborted before eos", r.id)
 		return nil
 	}
-	if err := r.sess.Drain(); err != nil {
+	err := func() error {
+		s.batch.producerUp()
+		defer s.batch.producerDown()
+		return r.sess.Drain()
+	}()
+	if err != nil {
 		r.writeError(ErrInternal, err.Error())
 		return fmt.Errorf("serve: %s drain: %w", r.id, err)
 	}
@@ -528,11 +594,19 @@ func (r *runner) run() error {
 	return nil
 }
 
-// flushJudgments sends every newly delivered judgment as one frame each, in
-// delivery (time) order.
+// flushJudgments sends every newly delivered judgment, in delivery (time)
+// order. The frames are assembled back to back in buf and written with one
+// syscall — a chunk typically yields a burst of judgments, and per-frame
+// writes would make the socket the hot path at serving rates. The byte
+// stream is identical to writing each frame alone.
 func (r *runner) flushJudgments(buf *[]byte) error {
-	for _, j := range r.sess.Results() {
-		*buf = AppendJudgment((*buf)[:0], Judgment{
+	res := r.sess.Results()
+	if len(res) == 0 {
+		return nil
+	}
+	*buf = (*buf)[:0]
+	for _, j := range res {
+		*buf = appendJudgmentFrame(*buf, Judgment{
 			Seq:         j.Vector.Seq,
 			Done:        int64(j.Rec.Done),
 			FinalRetire: int64(j.FinalRetire),
@@ -541,12 +615,12 @@ func (r *runner) flushJudgments(buf *[]byte) error {
 			EwmaQ:       j.Rec.Judgment.EwmaQ,
 			Anomaly:     j.Rec.Judgment.Anomaly,
 		})
-		r.conn.SetWriteDeadline(time.Now().Add(r.srv.cfg.WriteTimeout))
-		if err := WriteFrame(r.conn, FrameJudgment, *buf); err != nil {
-			return err
-		}
-		r.srv.mJudgments.Inc()
 	}
+	r.conn.SetWriteDeadline(time.Now().Add(r.srv.cfg.WriteTimeout))
+	if _, err := r.conn.Write(*buf); err != nil {
+		return err
+	}
+	r.srv.mJudgments.Add(int64(len(res)))
 	return nil
 }
 

@@ -154,8 +154,13 @@ type Hello struct {
 	Window int `json:"window,omitempty"`
 	// GapCycles is the replay pacing (synthesized CPU cycles per branch
 	// event); 0 accepts the server's default.
-	GapCycles int64       `json:"gap_cycles,omitempty"`
-	Attack    *AttackSpec `json:"attack,omitempty"`
+	GapCycles int64 `json:"gap_cycles,omitempty"`
+	// Stride, when non-zero, overrides the deployment's IGM emission
+	// stride (vectors per accepted branch window). Smaller strides judge
+	// more densely; the stride changes which vectors exist, so all
+	// sessions being compared must use the same value.
+	Stride int         `json:"stride,omitempty"`
+	Attack *AttackSpec `json:"attack,omitempty"`
 }
 
 // Welcome is the server's negotiation result.
@@ -167,6 +172,7 @@ type Welcome struct {
 	Backend   string `json:"backend"`
 	Window    int    `json:"window"`
 	GapCycles int64  `json:"gap_cycles"`
+	Stride    int    `json:"stride,omitempty"`
 }
 
 // Error codes carried by FrameError.
@@ -203,6 +209,15 @@ type Judgment struct {
 const JudgmentSize = 8 + 8 + 8 + 8 + 4 + 4 + 1
 
 // AppendJudgment encodes j onto dst in the fixed little-endian layout.
+// appendJudgmentFrame appends one complete judgment frame — header plus
+// payload — so a burst of judgments can go out in a single write.
+func appendJudgmentFrame(dst []byte, j Judgment) []byte {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(JudgmentSize+1))
+	hdr[4] = byte(FrameJudgment)
+	return AppendJudgment(append(dst, hdr[:]...), j)
+}
+
 func AppendJudgment(dst []byte, j Judgment) []byte {
 	var b [JudgmentSize]byte
 	binary.LittleEndian.PutUint64(b[0:], uint64(j.Seq))

@@ -236,3 +236,6 @@ func (e *timedEngine) Infer(w []int32) (kernels.Judgment, int64, error) {
 	c, err := e.service(w)
 	return kernels.Judgment{}, c, err
 }
+func (e *timedEngine) InferBatch(ws [][]int32) ([]kernels.Judgment, []int64, error) {
+	return kernels.InferLoop(e, ws)
+}
