@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"rtad/internal/cpu"
+	"rtad/internal/obs"
 	"rtad/internal/ptm"
 	"rtad/internal/workload"
 )
@@ -192,9 +193,46 @@ func printServeBaseline(doc map[string]any) {
 			numCell(run, "throughput_judgments_per_s", 10), wall,
 			numCell(lat, "p50", 12), numCell(lat, "p90", 12), numCell(lat, "p99", 12), bs)
 	}
+	printed := false
+	for _, name := range []string{"unbatched", "batched"} {
+		run, _ := runs[name].(map[string]any)
+		if run == nil {
+			continue
+		}
+		snap, ok := serveSLO(run)
+		if !ok {
+			continue
+		}
+		if !printed {
+			fmt.Printf("\nserver-side chunk→judgment SLO (µs):\n")
+			printed = true
+		}
+		fmt.Printf("  %-11s p50 %8.0f  p99 %8.0f  (%d chunks)\n",
+			name, snap.Quantile(0.50)*1e6, snap.Quantile(0.99)*1e6, snap.Count)
+	}
 	if v, ok := doc["speedup_batched_vs_unbatched"].(float64); ok {
 		fmt.Printf("\nspeedup, batched vs unbatched aggregate throughput: %.2fx\n", v)
 	}
+}
+
+// serveSLO extracts the server-side end-to-end histogram a newer loadgen
+// records per run (older baselines lack it — print nothing) and hands it
+// back as a snapshot so the quantiles are re-derived with the shared
+// estimator rather than trusting pre-baked numbers.
+func serveSLO(run map[string]any) (obs.HistogramSnapshot, bool) {
+	v, ok := run["server_chunk_judgment_seconds"]
+	if !ok {
+		return obs.HistogramSnapshot{}, false
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return obs.HistogramSnapshot{}, false
+	}
+	var snap obs.HistogramSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return obs.HistogramSnapshot{}, false
+	}
+	return snap, snap.Count > 0
 }
 
 // printFrontendBaseline lays out BENCH_frontend.json: the per-event

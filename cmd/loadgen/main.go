@@ -34,7 +34,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -77,6 +79,11 @@ func main() {
 		verify  = flag.Bool("verify", false, "spawn mode: compare client 0's judgments against an in-process reference (bit-identity spot check)")
 		out     = flag.String("out", "", "spawn mode: write the rtad-bench-serve/1 baseline to this file (e.g. BENCH_serve.json)")
 		note    = flag.String("note", "", "free-form note recorded in the baseline")
+
+		metricsAdr = flag.String("metrics-addr", "", "external mode: scrape this rtadd metrics address after the pass for the server-side SLO snapshot")
+		logFormat  = flag.String("log-format", "text", "spawn mode: structured log format of the spawned daemon: "+obs.LogFormats)
+		logLevel   = flag.String("log-level", "warn", "spawn mode: minimum log level of the spawned daemon (info per-session lines would swamp the bench output)")
+		wallTrace  = flag.String("wall-trace", "", "spawn mode: write the spawned daemon's Perfetto wall-clock trace (all passes on one timeline) to this file")
 	)
 	flag.Parse()
 	if *profile != "" {
@@ -88,16 +95,30 @@ func main() {
 		pprof.StartCPUProfile(f)
 		defer pprof.StopCPUProfile()
 	}
+	opts := obsOpts{
+		metricsAddr: *metricsAdr,
+		logFormat:   *logFormat,
+		logLevel:    *logLevel,
+		wallTrace:   *wallTrace,
+	}
 	if err := run(*addr, *bench, *backend, *clients, *probes, *stride, *gap, *chunk, *workers,
-		*batchWindow, *batchMax, *trainInstr, *traceInstr, *modes, *repeats, *verify, *out, *note); err != nil {
+		*batchWindow, *batchMax, *trainInstr, *traceInstr, *modes, *repeats, *verify, *out, *note, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
+// obsOpts carries the observability flags into run.
+type obsOpts struct {
+	metricsAddr string
+	logFormat   string
+	logLevel    string
+	wallTrace   string
+}
+
 func run(addr, bench, backend string, clients, probes, stride int, gap int64, chunk, workers int,
 	batchWindow time.Duration, batchMax int, trainInstr, traceInstr int64,
-	modes string, repeats int, verify bool, out, note string) error {
+	modes string, repeats int, verify bool, out, note string, opts obsOpts) error {
 
 	p, ok := workload.ByName(bench)
 	if !ok {
@@ -124,6 +145,13 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 		if err != nil {
 			return err
 		}
+		if opts.metricsAddr != "" {
+			if snap, ok := scrapeServeSLO("http://" + opts.metricsAddr + "/metrics"); ok {
+				st.serverSLO, st.hasSLO = snap, true
+			} else {
+				fmt.Fprintf(os.Stderr, "warning: no %s histogram at %s\n", serveSLOMetric, opts.metricsAddr)
+			}
+		}
 		printPass("external", st)
 		return nil
 	}
@@ -147,10 +175,23 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 		fmt.Printf("reference: %d judgments per session\n", len(want))
 	}
 
+	level, err := obs.ParseLogLevel(opts.logLevel)
+	if err != nil {
+		return err
+	}
+	dlog, err := obs.NewLogger(os.Stderr, opts.logFormat, level)
+	if err != nil {
+		return err
+	}
+	var wall *obs.WallTracer
+	if opts.wallTrace != "" {
+		wall = obs.NewWallTracer()
+	}
 	base := serve.Config{
 		MaxSessions: clients + 8,
 		Workers:     workers,
-		Logf:        func(string, ...any) {}, // per-session logs would swamp the bench output
+		Logger:      dlog, // default -log-level warn keeps per-session lines out of the bench output
+		WallTracer:  wall,
 	}
 	modeList := strings.Split(modes, ",")
 	for _, mode := range modeList {
@@ -177,13 +218,30 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 			if err != nil {
 				return err
 			}
+			// The pass scrapes its daemon's /metrics over HTTP rather than
+			// reading the registry in-process: the SLO snapshot printed next
+			// to the client-side numbers is exactly what an external
+			// Prometheus would have seen.
+			msrv, err := obs.Serve("127.0.0.1:0", cfg.Telemetry.Reg)
+			if err != nil {
+				stop()
+				return err
+			}
 			st, err := pass(daddr, bench, backend, stride, gap, chunk, clients, probes, stream, want)
 			if err != nil {
+				msrv.Close()
 				stop()
 				return fmt.Errorf("%s pass: %w", mode, err)
 			}
 			if err := stop(); err != nil {
+				msrv.Close()
 				return fmt.Errorf("%s pass: drain: %w", mode, err)
+			}
+			if snap, ok := scrapeServeSLO("http://" + msrv.Addr() + "/metrics"); ok {
+				st.serverSLO, st.hasSLO = snap, true
+			}
+			if err := msrv.Close(); err != nil {
+				return err
 			}
 			if mode == "batched" {
 				h := cfg.Telemetry.Reg.Histogram("rtad_serve_batch_size", serve.BatchSizeBuckets)
@@ -202,6 +260,20 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 			}
 			printPass(name, st)
 		}
+	}
+	if wall != nil {
+		f, err := os.Create(opts.wallTrace)
+		if err != nil {
+			return err
+		}
+		if err := wall.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote wall trace %s (%d events)\n", opts.wallTrace, wall.Events())
 	}
 	runs := map[string]*passStats{}
 	for _, mode := range modeList {
@@ -295,6 +367,31 @@ type passStats struct {
 	batchMeanSize float64
 	flushes       map[string]int64 // batched pass only: flush counts by reason
 	allThroughput []float64        // every repeat's throughput, when -repeats > 1
+
+	sess0     string                // client 0's server-minted SessionID, for log/trace correlation
+	serverSLO obs.HistogramSnapshot // scraped rtad_serve_chunk_judgment_seconds
+	hasSLO    bool
+}
+
+// serveSLOMetric is the end-to-end serving SLO histogram loadgen scrapes:
+// wall time from a chunk's arrival at the server to its last judgment
+// hitting the socket.
+const serveSLOMetric = "rtad_serve_chunk_judgment_seconds"
+
+// scrapeServeSLO pulls /metrics and reconstructs the end-to-end SLO
+// histogram — the server-side counterpart of the client-measured
+// turnaround latency.
+func scrapeServeSLO(url string) (obs.HistogramSnapshot, bool) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return obs.HistogramSnapshot{}, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return obs.HistogramSnapshot{}, false
+	}
+	return obs.ParsePrometheusHistogram(string(body), serveSLOMetric)
 }
 
 // medianPass picks the median-throughput repeat — a real measured pass, not
@@ -323,6 +420,7 @@ func pass(addr, bench, backend string, stride int, gap int64, chunk, clients, pr
 		lat    []float64
 		judged int64
 		js     []serve.Judgment
+		sess   string
 		err    error
 	}
 	outs := make([]clientOut, clients)
@@ -358,6 +456,7 @@ func pass(addr, bench, backend string, stride int, gap int64, chunk, clients, pr
 				o.err = err
 				return
 			}
+			o.sess = c.SessionID()
 			for off := 0; off < len(stream); off += chunk {
 				end := off + chunk
 				if end > len(stream) {
@@ -404,7 +503,7 @@ func pass(addr, bench, backend string, stride int, gap int64, chunk, clients, pr
 	wg.Wait()
 	wall := time.Since(start)
 
-	st := &passStats{wall: wall, cpu: processCPU() - cpu0}
+	st := &passStats{wall: wall, cpu: processCPU() - cpu0, sess0: outs[0].sess}
 	var lat []float64
 	for i := range outs {
 		if outs[i].err != nil {
@@ -465,6 +564,16 @@ func printPass(name string, st *passStats) {
 		st.cpu.Round(time.Millisecond), 100*st.cpu.Seconds()/st.wall.Seconds())
 	fmt.Printf("  turnaround latency (µs, %d samples): p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
 		st.samples, st.latP50, st.latP90, st.latP99, st.latMax)
+	if st.hasSLO {
+		// Server-side counterpart from the scraped SLO histogram: chunk
+		// arrival to last judgment on the wire, without the client's
+		// network and scheduling share.
+		fmt.Printf("  server chunk→judgment (µs, %d chunks): p50 %.0f  p99 %.0f\n",
+			st.serverSLO.Count, st.serverSLO.Quantile(0.50)*1e6, st.serverSLO.Quantile(0.99)*1e6)
+	}
+	if st.sess0 != "" {
+		fmt.Printf("  session id (client 0): %s\n", st.sess0)
+	}
 	if st.batchMeanSize > 0 {
 		fmt.Printf("  mean batch size: %.1f vectors (flushes: window %d, full %d, starve %d, drain %d)\n",
 			st.batchMeanSize, st.flushes["window"], st.flushes["full"], st.flushes["starve"], st.flushes["drain"])
@@ -486,6 +595,11 @@ func writeBaseline(path, bench, backend string, clients, probes, stride int, gap
 				"p99": round3(st.latP99), "max": round3(st.latMax),
 				"samples": st.samples,
 			},
+		}
+		if st.hasSLO {
+			// Raw snapshot, not pre-computed quantiles: benchinfo (and any
+			// later reader) re-derives p50/p99 with HistogramSnapshot.Quantile.
+			d["server_chunk_judgment_seconds"] = st.serverSLO
 		}
 		if st.batchMeanSize > 0 {
 			d["batch_mean_size"] = round3(st.batchMeanSize)

@@ -14,11 +14,19 @@
 // at startup for every -bench × -models pair. SIGINT/SIGTERM drains
 // gracefully: in-flight sessions finish and deliver their summaries while
 // new connections receive an explicit "draining" rejection.
+//
+// Observability: every log line is structured (-log-format text|json,
+// -log-level), session-scoped lines carry a session=<id> attribute matching
+// the SessionID in the welcome frame, -wall-trace records serving-plane
+// spans to a Perfetto JSON file, and -metrics-addr additionally mounts
+// /debug/sessions (live session snapshot) and /debug/flightrecorder
+// (recent per-session event rings) next to /metrics and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -35,7 +43,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7433", "listen address for rtad-wire sessions")
-		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
+		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /debug/pprof, /debug/sessions and /debug/flightrecorder on this address")
 		bench      = flag.String("bench", "", "comma-separated benchmarks to train deployments for at startup")
 		models     = flag.String("models", "lstm", "comma-separated models to train per benchmark: elm,lstm")
 		load       = flag.String("load", "", "comma-separated deployment files (rtadsim -save) to serve")
@@ -51,17 +59,27 @@ func main() {
 
 		batchWindow = flag.Duration("batch-window", 0, "micro-batch collection window for cross-session fused inference (0 = unbatched)")
 		batchMax    = flag.Int("batch-max", 0, "max vectors per micro-batch (0 = built-in default)")
+
+		logFormat = flag.String("log-format", "text", "structured log format: "+obs.LogFormats)
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		wallTrace = flag.String("wall-trace", "", "write a Perfetto JSON wall-clock trace of serving-plane spans to this file at exit")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stdout, *logFormat, level)
+	if err != nil {
+		fatal(err)
+	}
+
 	tel := obs.NewMetricsOnly()
-	if *metricsAdr != "" {
-		msrv, err := obs.Serve(*metricsAdr, tel.Reg)
-		if err != nil {
-			fatal(err)
-		}
-		defer msrv.Close()
-		fmt.Printf("serving metrics at http://%s/metrics\n", msrv.Addr())
+	flight := obs.NewFlightRecorder(0, 0)
+	var wall *obs.WallTracer
+	if *wallTrace != "" {
+		wall = obs.NewWallTracer()
 	}
 
 	srv := serve.NewServer(serve.Config{
@@ -75,57 +93,96 @@ func main() {
 		BatchWindow:  *batchWindow,
 		BatchMax:     *batchMax,
 		Telemetry:    tel,
-		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		},
+		Logger:       logger,
+		WallTracer:   wall,
+		Flight:       flight,
 	})
 
-	if err := loadDeployments(srv, *load, *bench, *models); err != nil {
+	var msrv *obs.Server
+	if *metricsAdr != "" {
+		msrv, err = obs.Serve(*metricsAdr, tel.Reg,
+			obs.Route{Pattern: "/debug/sessions", Handler: srv.SessionsHandler()},
+			obs.Route{Pattern: "/debug/flightrecorder", Handler: srv.FlightHandler()},
+		)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("serving metrics", "url", "http://"+msrv.Addr()+"/metrics")
+	}
+
+	if err := loadDeployments(srv, logger, *load, *bench, *models); err != nil {
 		fatal(err)
 	}
 	keys := srv.Models()
 	if len(keys) == 0 {
 		fatal(fmt.Errorf("no deployments: give -bench (train at startup) or -load (saved files)"))
 	}
-	fmt.Printf("serving %d deployment(s): %s\n", len(keys), strings.Join(keys, ", "))
+	logger.Info("serving deployments", "count", len(keys), "models", strings.Join(keys, ", "))
 	if *batchWindow > 0 {
 		max := *batchMax
 		if max <= 0 {
 			max = serve.DefaultBatchMax
 		}
-		fmt.Printf("micro-batching sessions: window %v, max %d vectors\n", *batchWindow, max)
+		logger.Info("micro-batching sessions", "window", *batchWindow, "max_vectors", max)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("listening for rtad-wire sessions on %s\n", ln.Addr())
+	logger.Info("listening for rtad-wire sessions", "addr", ln.Addr().String())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
-		fmt.Printf("received %v, draining (timeout %v)...\n", sig, *drainTimeout)
+		logger.Info("received signal, draining", "signal", sig.String(), "timeout", *drainTimeout)
 		srv.Shutdown(*drainTimeout)
 	}()
 
 	if err := srv.Serve(ln); err != nil {
 		fatal(err)
 	}
-	fmt.Println("drained, bye")
+	// Drain order: sessions first (above), then the introspection endpoint —
+	// gracefully, so a /metrics or /debug/sessions scrape racing the drain
+	// still completes — and finally the wall trace, which must include the
+	// drain spans themselves.
+	if msrv != nil {
+		if err := msrv.Close(); err != nil {
+			logger.Warn("metrics endpoint shutdown", "err", err)
+		}
+	}
+	if wall != nil {
+		if err := writeWallTrace(*wallTrace, wall); err != nil {
+			fatal(err)
+		}
+		logger.Info("wrote wall trace", "file", *wallTrace, "events", wall.Events())
+	}
+	logger.Info("drained, bye")
+}
+
+func writeWallTrace(path string, wall *obs.WallTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wall.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadDeployments registers -load files first, then trains every
 // -bench × -models pair not already covered.
-func loadDeployments(srv *serve.Server, loads, benches, models string) error {
+func loadDeployments(srv *serve.Server, logger *slog.Logger, loads, benches, models string) error {
 	for _, path := range splitList(loads) {
 		dep, err := core.LoadDeploymentFile(path)
 		if err != nil {
 			return err
 		}
 		srv.Deploy(dep)
-		fmt.Printf("loaded %v deployment for %s from %s\n", dep.Kind, dep.Profile.Name, path)
+		logger.Info("loaded deployment", "kind", dep.Kind.String(), "bench", dep.Profile.Name, "file", path)
 	}
 	for _, b := range splitList(benches) {
 		p, ok := workload.ByName(b)
@@ -142,7 +199,7 @@ func loadDeployments(srv *serve.Server, loads, benches, models string) error {
 			default:
 				return fmt.Errorf("unknown model %q (want elm or lstm)", m)
 			}
-			fmt.Printf("training %s detector on %s...\n", m, p.Name)
+			logger.Info("training detector", "model", m, "bench", p.Name)
 			dep, err := core.Train(core.DefaultTrainConfig(p, kind))
 			if err != nil {
 				return err

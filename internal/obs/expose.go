@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -16,17 +17,30 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// Server is a live metrics endpoint: /metrics serves the registry,
-// /debug/pprof/* the runtime profiles. Reads race harmlessly with the
-// simulation because every metric is atomic.
+// Route is an extra endpoint mounted on an exposition Server — how the
+// serving daemon adds /debug/sessions and /debug/flightrecorder next to
+// /metrics without obs knowing what they serve.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
+// Server is a live introspection endpoint: /metrics serves the registry,
+// /debug/pprof/* the runtime profiles, plus any caller-mounted Routes.
+// Reads race harmlessly with the simulation because every metric is
+// atomic.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// ShutdownTimeout bounds how long Close waits for in-flight scrapes
+// before force-closing their connections.
+const ShutdownTimeout = 5 * time.Second
+
 // Serve starts an exposition server on addr (host:port; ":0" picks a free
-// port). The server runs until Close.
-func Serve(addr string, r *Registry) (*Server, error) {
+// port). The server runs until Close/Shutdown.
+func Serve(addr string, r *Registry, routes ...Route) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -34,6 +48,9 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -47,5 +64,24 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr reports the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Shutdown stops the endpoint gracefully: the listener closes immediately,
+// but responses already being written — a /metrics scrape racing a drain —
+// run to completion until ctx expires, after which remaining connections
+// are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with scrapes still in flight: cut them off rather
+		// than leak the listener goroutine.
+		_ = s.srv.Close()
+	}
+	return err
+}
+
+// Close shuts the endpoint down gracefully with the default
+// ShutdownTimeout — in-flight scrapes finish, stragglers are cut off.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), ShutdownTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is the serving plane's post-mortem memory: a bounded
+// in-memory ring of recent structured events per session. Recording is
+// cheap and always on; the rings are only ever read out when something
+// goes wrong — a session panics, violates the protocol, or aborts — at
+// which point the dying session's recent history is dumped as JSON, and
+// the whole recorder stays inspectable at /debug/flightrecorder.
+//
+// Bounds: each session keeps at most perSession events (older ones are
+// overwritten in ring order), and the recorder tracks at most maxSessions
+// rings — when a new session would exceed that, the oldest *ended* ring
+// is evicted first, then the oldest ring outright, so a recorder can run
+// under millions of short sessions in bounded memory. Sessions that end
+// cleanly are kept (marked ended) until eviction: a post-mortem often
+// starts after the session is gone.
+//
+// A nil *FlightRecorder is a valid no-op receiver.
+type FlightRecorder struct {
+	mu          sync.Mutex
+	perSession  int
+	maxSessions int
+	rings       map[string]*flightRing
+	order       []string // session IDs in creation order, for eviction
+}
+
+// FlightEvent is one recorded event. Attrs is shallow-copied at record
+// time; values must be JSON-marshalable (strings and numbers in practice).
+type FlightEvent struct {
+	Time    time.Time      `json:"t"`
+	Session string         `json:"session"`
+	Event   string         `json:"event"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+type flightRing struct {
+	events []FlightEvent // ring storage, len == cap once full
+	next   int           // next write slot
+	wrap   bool          // true once the ring has lapped
+	ended  bool          // session finished (cleanly or not)
+}
+
+// Flight-recorder defaults: events retained per session and session rings
+// retained per recorder.
+const (
+	DefaultFlightEvents   = 64
+	DefaultFlightSessions = 256
+)
+
+// NewFlightRecorder returns a recorder keeping perSession events per
+// session (<= 0 = DefaultFlightEvents) across at most maxSessions rings
+// (<= 0 = DefaultFlightSessions).
+func NewFlightRecorder(perSession, maxSessions int) *FlightRecorder {
+	if perSession <= 0 {
+		perSession = DefaultFlightEvents
+	}
+	if maxSessions <= 0 {
+		maxSessions = DefaultFlightSessions
+	}
+	return &FlightRecorder{
+		perSession:  perSession,
+		maxSessions: maxSessions,
+		rings:       map[string]*flightRing{},
+	}
+}
+
+// Record appends one event to the session's ring, creating the ring (and
+// evicting an old one if needed) on first use. attrs may be nil; the map
+// is copied, so callers may reuse theirs. No-op on a nil receiver.
+func (f *FlightRecorder) Record(session, event string, attrs map[string]any) {
+	if f == nil {
+		return
+	}
+	ev := FlightEvent{Time: time.Now(), Session: session, Event: event}
+	if len(attrs) > 0 {
+		ev.Attrs = make(map[string]any, len(attrs))
+		for k, v := range attrs {
+			ev.Attrs[k] = v
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.rings[session]
+	if r == nil {
+		f.evictLocked()
+		r = &flightRing{events: make([]FlightEvent, 0, f.perSession)}
+		f.rings[session] = r
+		f.order = append(f.order, session)
+	}
+	if len(r.events) < f.perSession {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % f.perSession
+	r.wrap = true
+}
+
+// evictLocked makes room for one more ring: the oldest ended ring goes
+// first, then the oldest ring of any state.
+func (f *FlightRecorder) evictLocked() {
+	if len(f.rings) < f.maxSessions {
+		return
+	}
+	victim := -1
+	for i, id := range f.order {
+		if f.rings[id].ended {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	delete(f.rings, f.order[victim])
+	f.order = append(f.order[:victim], f.order[victim+1:]...)
+}
+
+// End marks the session's ring ended — first in line for eviction — while
+// keeping its events readable for post-mortems. No-op on a nil receiver or
+// unknown session.
+func (f *FlightRecorder) End(session string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if r := f.rings[session]; r != nil {
+		r.ended = true
+	}
+	f.mu.Unlock()
+}
+
+// Dump returns the session's retained events in record order (oldest
+// first). Nil on a nil receiver or unknown session.
+func (f *FlightRecorder) Dump(session string) []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.rings[session]
+	if r == nil {
+		return nil
+	}
+	return r.ordered()
+}
+
+// ordered returns the ring's events oldest-first. Before the first wrap,
+// next stays 0 and the backing slice is already in record order.
+func (r *flightRing) ordered() []FlightEvent {
+	if !r.wrap {
+		return append([]FlightEvent(nil), r.events...)
+	}
+	out := make([]FlightEvent, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	return append(out, r.events[:r.next]...)
+}
+
+// Sessions lists the session IDs with retained rings, in creation order.
+func (f *FlightRecorder) Sessions() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+// WriteJSON dumps the whole recorder as one JSON object:
+//
+//	{"sessions": {"s-1": [event, ...], ...}}
+//
+// the payload of /debug/flightrecorder and of the on-panic dump.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Sessions map[string][]FlightEvent `json:"sessions"`
+	}{Sessions: map[string][]FlightEvent{}}
+	if f != nil {
+		f.mu.Lock()
+		for id, r := range f.rings {
+			doc.Sessions[id] = r.ordered()
+		}
+		f.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("s", "ev", nil)
+	f.End("s")
+	if d := f.Dump("s"); d != nil {
+		t.Errorf("nil recorder Dump = %v", d)
+	}
+	if s := f.Sessions(); s != nil {
+		t.Errorf("nil recorder Sessions = %v", s)
+	}
+	var b strings.Builder
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"sessions"`) {
+		t.Errorf("nil recorder JSON = %q", b.String())
+	}
+}
+
+func TestFlightRingBoundAndOrder(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	for i := 0; i < 10; i++ {
+		f.Record("s-1", fmt.Sprintf("ev%d", i), map[string]any{"i": i})
+	}
+	got := f.Dump("s-1")
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(got))
+	}
+	// Oldest-first across the wrap point: the last 4 of 10 records.
+	for i, ev := range got {
+		if want := fmt.Sprintf("ev%d", i+6); ev.Event != want {
+			t.Errorf("event %d = %s, want %s", i, ev.Event, want)
+		}
+	}
+
+	// A ring that never wraps dumps exactly what was recorded.
+	f.Record("s-2", "only", nil)
+	if d := f.Dump("s-2"); len(d) != 1 || d[0].Event != "only" {
+		t.Errorf("unwrapped dump = %v", d)
+	}
+	if d := f.Dump("nope"); d != nil {
+		t.Errorf("unknown session dump = %v", d)
+	}
+}
+
+func TestFlightAttrsCopied(t *testing.T) {
+	f := NewFlightRecorder(0, 0)
+	attrs := map[string]any{"k": "v1"}
+	f.Record("s", "ev", attrs)
+	attrs["k"] = "v2" // caller reuses its map; the ring must not see this
+	if got := f.Dump("s")[0].Attrs["k"]; got != "v1" {
+		t.Errorf("recorded attr = %v, want the value at record time", got)
+	}
+}
+
+func TestFlightEviction(t *testing.T) {
+	f := NewFlightRecorder(8, 3)
+	f.Record("a", "ev", nil)
+	f.Record("b", "ev", nil)
+	f.Record("c", "ev", nil)
+	f.End("b")
+	// At capacity: the oldest *ended* ring (b) goes first, not the oldest (a).
+	f.Record("d", "ev", nil)
+	if got := f.Sessions(); !equalStrings(got, []string{"a", "c", "d"}) {
+		t.Errorf("after ended-first eviction: %v, want [a c d]", got)
+	}
+	// No ended rings left: the oldest outright (a) is evicted.
+	f.Record("e", "ev", nil)
+	if got := f.Sessions(); !equalStrings(got, []string{"c", "d", "e"}) {
+		t.Errorf("after oldest eviction: %v, want [c d e]", got)
+	}
+	// Recording onto a live ring never evicts.
+	f.Record("c", "ev2", nil)
+	if got := f.Sessions(); !equalStrings(got, []string{"c", "d", "e"}) {
+		t.Errorf("recording on a live ring changed the set: %v", got)
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(0, 0)
+	f.Record("s-1", "open", map[string]any{"benchmark": "458.sjeng"})
+	f.Record("s-1", "eos", nil)
+	var b strings.Builder
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Sessions map[string][]FlightEvent `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	evs := doc.Sessions["s-1"]
+	if len(evs) != 2 || evs[0].Event != "open" || evs[1].Event != "eos" {
+		t.Fatalf("round-tripped events = %+v", evs)
+	}
+	if evs[0].Attrs["benchmark"] != "458.sjeng" {
+		t.Errorf("attrs lost in JSON: %+v", evs[0].Attrs)
+	}
+	if evs[0].Time.IsZero() {
+		t.Error("event timestamp did not survive the round trip")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var nilH *Histogram
+	if v := nilH.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("nil histogram Quantile = %v, want NaN", v)
+	}
+	h := NewRegistry().Histogram("h", []float64{1, 2, 4})
+	if v := h.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", v)
+	}
+	if v := (HistogramSnapshot{}).Quantile(0.99); !math.IsNaN(v) {
+		t.Errorf("empty snapshot Quantile = %v, want NaN", v)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All observations land in the first bucket [0, 10]: the estimator
+	// interpolates linearly from the implicit 0 lower edge, exactly like
+	// Prometheus's histogram_quantile.
+	h := NewRegistry().Histogram("h", []float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("single-bucket p50 = %v, want 5 (rank 2 of 4 in [0,10])", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("single-bucket p100 = %v, want the bucket bound 10", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewRegistry().Histogram("h", []float64{1, 2, 4})
+	// 2 obs in (0,1], 2 in (1,2], none in (2,4].
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(1.5)
+	// rank(0.75) = 3 → second bucket, 1 of its 2 obs past the lower
+	// edge: 1 + (2-1)*(3-2)/2 = 1.5
+	if got := h.Quantile(0.75); got != 1.5 {
+		t.Errorf("p75 = %v, want 1.5", got)
+	}
+	// rank(0.25) = 1 → first bucket midpoint region: 0 + 1*(1/2) = 0.5
+	if got := h.Quantile(0.25); got != 0.5 {
+		t.Errorf("p25 = %v, want 0.5", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got, want := h.Quantile(-1), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-1) = %v, want Quantile(0) = %v", got, want)
+	}
+}
+
+func TestQuantileInfOverflow(t *testing.T) {
+	// Observations past the last finite bound live in the +Inf bucket; any
+	// quantile landing there clamps to the largest finite bound — "at
+	// least this bad", never an invented number.
+	h := NewRegistry().Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("p99 with overflow = %v, want clamp to 2", got)
+	}
+	// A histogram with no finite buckets at all has nothing to clamp to.
+	snap := HistogramSnapshot{Count: 3}
+	if v := snap.Quantile(0.5); !math.IsNaN(v) {
+		t.Errorf("no-finite-buckets Quantile = %v, want NaN", v)
+	}
+}
+
+func TestParsePrometheusHistogramRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rtad_serve_chunk_judgment_seconds", ExpBuckets(1e-6, 2, 20))
+	for _, v := range []float64{1e-5, 3e-5, 1e-4, 1e-4, 2e-3, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := ParsePrometheusHistogram(b.String(), "rtad_serve_chunk_judgment_seconds")
+	if !ok {
+		t.Fatal("histogram not found in exposition text")
+	}
+	if snap.Count != h.Count() {
+		t.Errorf("parsed count %d, want %d", snap.Count, h.Count())
+	}
+	if snap.Sum != h.Sum() {
+		t.Errorf("parsed sum %v, want %v", snap.Sum, h.Sum())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := snap.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v): parsed %v, live %v", q, got, want)
+		}
+	}
+	if _, ok := ParsePrometheusHistogram(b.String(), "no_such_metric"); ok {
+		t.Error("found a histogram that is not there")
+	}
+}

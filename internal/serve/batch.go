@@ -111,11 +111,14 @@ type batcher struct {
 
 	mSize        *obs.Histogram
 	mLatency     *obs.Histogram
+	mInferSec    *obs.Histogram // one fused GroupRunner.InferBatch pass, seconds
 	mRows        *obs.Counter
 	mFlushWindow *obs.Counter
 	mFlushFull   *obs.Counter
 	mFlushStarve *obs.Counter
 	mFlushDrain  *obs.Counter
+
+	wall *obs.WallTrack // wall-clock flush spans, labelled by reason
 }
 
 // BatchSizeBuckets are the batch-size histogram bounds: exponential 1..256.
@@ -125,7 +128,7 @@ var BatchSizeBuckets = obs.ExpBuckets(1, 2, 9)
 // histogram, in microseconds: 1us .. ~8ms.
 var BatchLatencyBuckets = obs.ExpBuckets(1, 2, 14)
 
-func newBatcher(window time.Duration, max int, tel *obs.Telemetry) *batcher {
+func newBatcher(window time.Duration, max int, tel *obs.Telemetry, wall *obs.WallTracer) *batcher {
 	if max <= 0 {
 		max = DefaultBatchMax
 	}
@@ -135,11 +138,13 @@ func newBatcher(window time.Duration, max int, tel *obs.Telemetry) *batcher {
 		runner:       kernels.NewGroupRunner(),
 		mSize:        tel.Histogram("rtad_serve_batch_size", BatchSizeBuckets),
 		mLatency:     tel.Histogram("rtad_serve_batch_infer_latency_us", BatchLatencyBuckets),
+		mInferSec:    tel.Histogram("rtad_serve_infer_batch_seconds", ServeSecondsBuckets),
 		mRows:        tel.Counter("rtad_serve_batch_rows_total"),
 		mFlushWindow: tel.Counter("rtad_serve_batch_flush_window_total"),
 		mFlushFull:   tel.Counter("rtad_serve_batch_flush_full_total"),
 		mFlushStarve: tel.Counter("rtad_serve_batch_flush_starve_total"),
 		mFlushDrain:  tel.Counter("rtad_serve_batch_flush_drain_total"),
+		wall:         wall.Track("serve", "batcher"),
 	}
 	b.timer = time.AfterFunc(time.Hour, b.onTimer)
 	b.timer.Stop()
@@ -172,7 +177,7 @@ func (b *batcher) producerDown() {
 	if len(b.cur) > 0 && int64(len(b.cur)) >= left {
 		batch := b.takeLocked()
 		b.mu.Unlock()
-		b.flush(batch, b.mFlushStarve)
+		b.flush(batch, flushStarve)
 		return
 	}
 	b.mu.Unlock()
@@ -188,7 +193,7 @@ func (b *batcher) startDrain() {
 		batch := b.takeLocked()
 		b.mu.Unlock()
 		if batch != nil {
-			b.flush(batch, b.mFlushDrain)
+			b.flush(batch, flushDrain)
 		}
 	})
 }
@@ -202,7 +207,7 @@ func (b *batcher) close() {
 	batch := b.takeLocked()
 	b.mu.Unlock()
 	if batch != nil {
-		b.flush(batch, b.mFlushDrain)
+		b.flush(batch, flushDrain)
 	}
 }
 
@@ -232,7 +237,7 @@ func (b *batcher) onTimer() {
 	batch := b.takeLocked()
 	b.mu.Unlock()
 	if batch != nil {
-		b.flush(batch, b.mFlushWindow)
+		b.flush(batch, flushWindow)
 	}
 }
 
@@ -274,11 +279,11 @@ func (b *batcher) inferBatch(e *batchedEngine, windows [][]int32) ([]kernels.Jud
 		case b.draining.Load():
 			batch := b.takeLocked()
 			b.mu.Unlock()
-			b.flush(batch, b.mFlushDrain)
+			b.flush(batch, flushDrain)
 		case len(b.cur) >= b.max:
 			batch := b.takeLocked()
 			b.mu.Unlock()
-			b.flush(batch, b.mFlushFull)
+			b.flush(batch, flushFull)
 		case int64(len(b.cur)) < b.producers.Load():
 			// Producers outside the batch are mid-chunk; they will grow it
 			// or flush it. Park.
@@ -288,7 +293,7 @@ func (b *batcher) inferBatch(e *batchedEngine, windows [][]int32) ([]kernels.Jud
 			// pass brought no new vector. Waiting longer would only idle.
 			batch := b.takeLocked()
 			b.mu.Unlock()
-			b.flush(batch, b.mFlushStarve)
+			b.flush(batch, flushStarve)
 		default:
 			// Starve candidate: every producer is accounted for in the
 			// batch, but some may simply not have been scheduled yet on
@@ -314,8 +319,29 @@ func (b *batcher) inferBatch(e *batchedEngine, windows [][]int32) ([]kernels.Jud
 	return p.js, p.cycles, p.err
 }
 
+// Flush reasons, as both counter selectors and wall-trace span labels.
+const (
+	flushWindow = "window"
+	flushFull   = "full"
+	flushStarve = "starve"
+	flushDrain  = "drain"
+)
+
+func (b *batcher) flushCounter(reason string) *obs.Counter {
+	switch reason {
+	case flushWindow:
+		return b.mFlushWindow
+	case flushFull:
+		return b.mFlushFull
+	case flushStarve:
+		return b.mFlushStarve
+	default:
+		return b.mFlushDrain
+	}
+}
+
 // flush runs one fused pass over a taken batch and wakes every waiter.
-func (b *batcher) flush(batch []*pendingInfer, reason *obs.Counter) {
+func (b *batcher) flush(batch []*pendingInfer, reason string) {
 	b.runnerMu.Lock()
 	reqs := b.reqs[:0]
 	for _, p := range batch {
@@ -324,7 +350,9 @@ func (b *batcher) flush(batch []*pendingInfer, reason *obs.Counter) {
 	b.reqs = reqs
 	t0 := time.Now()
 	results := b.runner.InferGroup(reqs)
-	b.mLatency.Observe(float64(time.Since(t0)) / float64(time.Microsecond))
+	infer := time.Since(t0)
+	b.mLatency.Observe(float64(infer) / float64(time.Microsecond))
+	b.mInferSec.Observe(infer.Seconds())
 	b.mSize.Observe(float64(len(batch)))
 	rows := 0
 	// Result copies happen under runnerMu: the result slices are the
@@ -340,7 +368,10 @@ func (b *batcher) flush(batch []*pendingInfer, reason *obs.Counter) {
 		batch[i] = nil
 	}
 	b.mRows.Add(int64(rows))
-	reason.Inc()
+	b.flushCounter(reason).Inc()
+	b.wall.Since("flush", t0, map[string]any{
+		"reason": reason, "size": len(batch), "rows": rows,
+	})
 	b.runnerMu.Unlock()
 	b.mu.Lock()
 	b.free = append(b.free, batch[:0])

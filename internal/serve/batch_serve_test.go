@@ -283,7 +283,7 @@ func waitParked(t *testing.T, b *batcher, n int) {
 // releases it.
 func TestBatcherDrainReleasesParked(t *testing.T) {
 	tel := obs.NewMetricsOnly()
-	b := newBatcher(10*time.Minute, 1<<20, tel)
+	b := newBatcher(10*time.Minute, 1<<20, tel, nil)
 	b.producerUp()
 	b.producerUp() // a second live producer keeps the submitter parked
 	e := b.wrap(&stubBackend{}).(*batchedEngine)
@@ -323,7 +323,7 @@ func TestBatcherDrainReleasesParked(t *testing.T) {
 // flushes inline rather than waiting out the window.
 func TestBatcherStarveFlush(t *testing.T) {
 	tel := obs.NewMetricsOnly()
-	b := newBatcher(10*time.Minute, 1<<20, tel)
+	b := newBatcher(10*time.Minute, 1<<20, tel, nil)
 	b.producerUp()
 	e := b.wrap(&stubBackend{}).(*batchedEngine)
 	j, cycles, err := e.Infer([]int32{9, 8, 7}) // sole producer: flushes itself
@@ -345,7 +345,7 @@ func TestBatcherStarveFlush(t *testing.T) {
 // out instead of waiting for the window.
 func TestBatcherProducerExitFlushes(t *testing.T) {
 	tel := obs.NewMetricsOnly()
-	b := newBatcher(10*time.Minute, 1<<20, tel)
+	b := newBatcher(10*time.Minute, 1<<20, tel, nil)
 	b.producerUp()
 	b.producerUp()
 	e := b.wrap(&stubBackend{}).(*batchedEngine)

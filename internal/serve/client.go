@@ -148,6 +148,17 @@ func DialContext(ctx context.Context, addr string, hello Hello, onJudgment func(
 // Welcome returns the negotiated session parameters.
 func (c *Client) Welcome() Welcome { return c.welcome }
 
+// SessionID returns the server-minted session identifier — the value to
+// correlate with the server's structured logs, wall-trace spans and
+// /debug/sessions rows. Falls back to the legacy Session field when the
+// server predates SessionID.
+func (c *Client) SessionID() string {
+	if c.welcome.SessionID != "" {
+		return c.welcome.SessionID
+	}
+	return c.welcome.Session
+}
+
 // Send streams raw PTM trace bytes, transparently splitting data into
 // MaxFrame-sized chunks. Chunk boundaries never affect the judgment stream.
 func (c *Client) Send(data []byte) error {

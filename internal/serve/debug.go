@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Live session introspection: the server keeps one sessionState per
+// admitted session, updated lock-free from the reader and runner
+// goroutines, and /debug/sessions renders a JSON snapshot of all of them
+// — the "what is this daemon doing right now" endpoint.
+
+// sessionState is the mutable, concurrently updated record behind one
+// /debug/sessions row. Identity fields are written once at admission;
+// progress fields are atomics bumped from the hot(ish) serving path.
+type sessionState struct {
+	id        string
+	benchmark string
+	model     string
+	backend   string
+	remote    string
+	started   time.Time
+
+	chunks     atomic.Int64
+	traceBytes atomic.Int64
+	judged     atomic.Int64
+	lastActive atomic.Int64 // unix nanoseconds of the last chunk/judgment
+}
+
+func (st *sessionState) touch() {
+	st.lastActive.Store(time.Now().UnixNano())
+}
+
+// SessionInfo is one live session's introspection snapshot.
+type SessionInfo struct {
+	ID           string    `json:"id"`
+	Benchmark    string    `json:"benchmark"`
+	Model        string    `json:"model"`
+	Backend      string    `json:"backend"`
+	Remote       string    `json:"remote"`
+	StartedAt    time.Time `json:"started_at"`
+	Chunks       int64     `json:"chunks"`
+	TraceBytes   int64     `json:"trace_bytes"`
+	Judged       int64     `json:"judged"`
+	LastActivity time.Time `json:"last_activity"`
+}
+
+// Sessions snapshots every live session, sorted by ID for stable output.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	states := make([]*sessionState, 0, len(s.states))
+	for _, st := range s.states {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(states))
+	for _, st := range states {
+		out = append(out, SessionInfo{
+			ID:           st.id,
+			Benchmark:    st.benchmark,
+			Model:        st.model,
+			Backend:      st.backend,
+			Remote:       st.remote,
+			StartedAt:    st.started,
+			Chunks:       st.chunks.Load(),
+			TraceBytes:   st.traceBytes.Load(),
+			Judged:       st.judged.Load(),
+			LastActivity: time.Unix(0, st.lastActive.Load()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SessionsHandler serves the live-session snapshot as JSON — mount it at
+// /debug/sessions on the obs exposition server.
+func (s *Server) SessionsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := struct {
+			Sessions []SessionInfo `json:"sessions"`
+		}{Sessions: s.Sessions()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&doc)
+	})
+}
+
+// FlightHandler serves the server's flight recorder (every retained
+// session ring) as JSON — mount it at /debug/flightrecorder. Serves an
+// empty document when no recorder is configured.
+func (s *Server) FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.cfg.Flight.WriteJSON(w)
+	})
+}

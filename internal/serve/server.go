@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
@@ -57,11 +58,35 @@ type Config struct {
 	// flushes without waiting out the window.
 	BatchMax int
 	// Telemetry records serve metrics (sessions, rejections, queue depth,
-	// bytes, judgments) alongside whatever the registry already holds.
+	// bytes, judgments, wall-clock stage latencies) alongside whatever the
+	// registry already holds.
 	Telemetry *obs.Telemetry
-	// Logf, when set, receives one line per session lifecycle event.
+	// Logger receives structured logs — session lifecycle, errors, drain
+	// progress — each session-scoped line tagged with the obs.SessionKey
+	// attribute carrying the SessionID from the welcome frame. Nil falls
+	// back to Logf (wrapped), or to silence when that is nil too.
+	Logger *slog.Logger
+	// WallTracer, when set, records wall-clock spans of the serving path —
+	// frame reads, admission, chunk feeds, batch flushes, judgment writes —
+	// tagged with session IDs, exportable as Perfetto JSON. Nil records
+	// nothing.
+	WallTracer *obs.WallTracer
+	// Flight, when set, retains a bounded ring of recent per-session events
+	// and is dumped (via Logger, as JSON) when a session panics, violates
+	// the protocol, or aborts. Nil records nothing.
+	Flight *obs.FlightRecorder
+	// Logf, when set and Logger is nil, receives one rendered line per
+	// session lifecycle event.
+	//
+	// Deprecated: set Logger. Logf survives as a compatibility shim and is
+	// wrapped into a *slog.Logger internally.
 	Logf func(format string, args ...any)
 }
+
+// ServeSecondsBuckets bound the rtad_serve_*_seconds stage-latency
+// histograms: exponential, 1µs .. ~33s. Every serving-plane SLO histogram
+// shares them so quantiles are comparable across stages.
+var ServeSecondsBuckets = obs.ExpBuckets(1e-6, 2, 26)
 
 // Server multiplexes rtad-wire sessions onto a bounded pool of pre-loaded
 // read-only deployments. Trained Deployments are immutable during inference
@@ -82,12 +107,15 @@ type Server struct {
 	// batching) available from those sessions' first vector.
 	calib *kernels.Calibration
 
+	log *slog.Logger
+
 	mu       sync.Mutex
 	live     int
 	draining bool
 	closed   bool
 	nextID   int64
 	conns    map[net.Conn]struct{}
+	states   map[string]*sessionState // live sessions, for /debug/sessions
 	ln       net.Listener
 
 	sessions sync.WaitGroup // live admitted sessions
@@ -103,6 +131,13 @@ type Server struct {
 	mBytes     *obs.Counter
 	mJudgments *obs.Counter
 	mQueueMax  *obs.Gauge
+
+	// wall-clock SLO histograms (rtad_serve_*_seconds), nil-safe too
+	mReadSec  *obs.Histogram // one successful frame read (incl. client gap)
+	mAdmitSec *obs.Histogram // hello parsed -> welcome written
+	mFeedSec  *obs.Histogram // one chunk through FeedTrace (decode+sim+infer)
+	mWriteSec *obs.Histogram // one judgment-burst socket write
+	mE2ESec   *obs.Histogram // chunk read off the socket -> its last judgment written
 }
 
 // NewServer builds a server over cfg. Deployments are registered with
@@ -117,13 +152,18 @@ func NewServer(cfg Config) *Server {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = time.Minute
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		if cfg.Logf != nil {
+			logger = obs.LogfLogger(cfg.Logf)
+		} else {
+			logger = obs.DiscardLogger()
+		}
 	}
 	tel := cfg.Telemetry
 	var batch *batcher
 	if cfg.BatchWindow > 0 {
-		batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, tel)
+		batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, tel, cfg.WallTracer)
 	}
 	return &Server{
 		cfg:        cfg,
@@ -131,7 +171,9 @@ func NewServer(cfg Config) *Server {
 		pool:       core.NewFleet(cfg.Workers),
 		batch:      batch,
 		calib:      kernels.NewCalibration(),
+		log:        logger,
 		conns:      map[net.Conn]struct{}{},
+		states:     map[string]*sessionState{},
 		mLive:      tel.Gauge("rtad_serve_sessions_live"),
 		mTotal:     tel.Counter("rtad_serve_sessions_total"),
 		mBusy:      tel.Counter("rtad_serve_rejected_busy_total"),
@@ -141,6 +183,11 @@ func NewServer(cfg Config) *Server {
 		mBytes:     tel.Counter("rtad_serve_bytes_in_total"),
 		mJudgments: tel.Counter("rtad_serve_judgments_total"),
 		mQueueMax:  tel.Gauge("rtad_serve_queue_depth_max"),
+		mReadSec:   tel.Histogram("rtad_serve_frame_read_seconds", ServeSecondsBuckets),
+		mAdmitSec:  tel.Histogram("rtad_serve_admission_seconds", ServeSecondsBuckets),
+		mFeedSec:   tel.Histogram("rtad_serve_feed_seconds", ServeSecondsBuckets),
+		mWriteSec:  tel.Histogram("rtad_serve_judgment_write_seconds", ServeSecondsBuckets),
+		mE2ESec:    tel.Histogram("rtad_serve_chunk_judgment_seconds", ServeSecondsBuckets),
 	}
 }
 
@@ -233,12 +280,13 @@ func (s *Server) Shutdown(timeout time.Duration) {
 		s.batch.startDrain()
 	}
 
+	drainStart := time.Now()
 	done := make(chan struct{})
 	go func() { s.sessions.Wait(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(timeout):
-		s.cfg.Logf("serve: drain timeout after %v, force-closing connections", timeout)
+		s.log.Warn("serve: drain timeout, force-closing connections", "timeout", timeout)
 		s.mu.Lock()
 		for c := range s.conns {
 			c.Close()
@@ -246,6 +294,7 @@ func (s *Server) Shutdown(timeout time.Duration) {
 		s.mu.Unlock()
 		<-done
 	}
+	s.cfg.WallTracer.Track("serve", "server").Since("drain", drainStart, nil)
 
 	s.mu.Lock()
 	s.closed = true
@@ -276,9 +325,11 @@ func (s *Server) untrack(c net.Conn) {
 }
 
 // inMsg is one unit of the reader→runner queue: a copied trace chunk, or
-// the end-of-stream mark.
+// the end-of-stream mark. at stamps the moment the chunk left the socket —
+// the start of the end-to-end chunk→last-judgment SLO clock.
 type inMsg struct {
 	data []byte
+	at   time.Time
 	eos  bool
 }
 
@@ -299,6 +350,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.refuse(conn, ErrProto, fmt.Sprintf("unsupported protocol %q (want %s)", hello.Proto, Proto))
 		return
 	}
+	admitStart := time.Now() // hello parsed; stops when the welcome is written
 
 	// Admission control, under one lock so the live count is exact.
 	s.mu.Lock()
@@ -338,7 +390,7 @@ func (s *Server) handle(conn net.Conn) {
 	admitted := false
 	defer func() {
 		if !admitted {
-			s.endSession()
+			s.endSession(id)
 		}
 	}()
 
@@ -352,14 +404,39 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	admitted = true
-	s.cfg.Logf("serve: %s open %s/%s backend=%s from %v", id, hello.Benchmark, hello.Model, welcome.Backend, conn.RemoteAddr())
+	s.mAdmitSec.Observe(time.Since(admitStart).Seconds())
+
+	remote := fmt.Sprint(conn.RemoteAddr())
+	state := &sessionState{
+		id: id, benchmark: hello.Benchmark, model: hello.Model,
+		backend: welcome.Backend, remote: remote, started: time.Now(),
+	}
+	state.touch()
+	s.mu.Lock()
+	s.states[id] = state
+	s.mu.Unlock()
+
+	log := obs.SessionLogger(s.log, id)
+	flight := s.cfg.Flight
+	wall := s.cfg.WallTracer.Track("serve", id)
+	wall.Since("admission", admitStart, map[string]any{
+		obs.SessionKey: id, "benchmark": hello.Benchmark, "model": hello.Model,
+	})
+	log.Info("serve: session open",
+		"benchmark", hello.Benchmark, "model", hello.Model,
+		"backend", welcome.Backend, "remote", remote)
+	flight.Record(id, "open", map[string]any{
+		"benchmark": hello.Benchmark, "model": hello.Model,
+		"backend": welcome.Backend, "remote": remote,
+	})
 
 	// The bounded chunk queue between this reader and the runner. The
 	// reader is the only sender and closes it; the runner drains it.
 	q := make(chan inMsg, s.cfg.QueueDepth)
 	var shed atomic.Int64
 
-	r := &runner{srv: s, id: id, conn: conn, sess: sess, q: q, shed: &shed}
+	r := &runner{srv: s, id: id, conn: conn, sess: sess, q: q, shed: &shed,
+		log: log, state: state, wall: wall}
 	s.pool.Go(r.run)
 
 	// Reader loop: frames in, chunks queued. Exiting closes q, which is the
@@ -368,15 +445,22 @@ func (s *Server) handle(conn net.Conn) {
 	buf := make([]byte, 0, 64<<10)
 	for {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		readStart := time.Now()
 		t, payload, nbuf, err := ReadFrame(conn, buf)
+		at := time.Now()
 		buf = nbuf
 		if err != nil {
 			return // disconnect or protocol garbage; runner sees closed q
 		}
+		s.mReadSec.Observe(at.Sub(readStart).Seconds())
 		switch t {
 		case FrameChunk:
 			s.mBytes.Add(int64(len(payload)))
-			msg := inMsg{data: append([]byte(nil), payload...)}
+			state.chunks.Add(1)
+			state.traceBytes.Add(int64(len(payload)))
+			state.touch()
+			flight.Record(id, "chunk", map[string]any{"bytes": len(payload)})
+			msg := inMsg{data: append([]byte(nil), payload...), at: at}
 			if s.cfg.Shed {
 				select {
 				case q <- msg:
@@ -385,29 +469,53 @@ func (s *Server) handle(conn net.Conn) {
 					// the socket. The decoder resynchronises downstream.
 					s.mShed.Inc()
 					shed.Add(1)
+					flight.Record(id, "shed", map[string]any{"bytes": len(payload)})
 				}
 			} else {
 				q <- msg // block: TCP holds the client until space frees
 			}
 			s.mQueueMax.Max(int64(len(q)))
 		case FrameEOS:
-			q <- inMsg{eos: true}
+			flight.Record(id, "eos", nil)
+			q <- inMsg{eos: true, at: at}
 			return
 		default:
-			return // client protocol violation; drop the session
+			// Client protocol violation: drop the session, with the flight
+			// recorder's recent history dumped for the post-mortem.
+			flight.Record(id, "proto-error", map[string]any{"frame": t.String()})
+			log.Error("serve: protocol violation, dropping session", "frame", t.String())
+			s.dumpFlight(log, id)
+			return
 		}
 	}
 }
 
-// endSession decrements the live count (and its gauge) exactly once per
-// admitted-or-aborted session.
-func (s *Server) endSession() {
+// endSession decrements the live count (and its gauge), retires the
+// introspection row, and marks the flight-recorder ring evictable —
+// exactly once per admitted-or-aborted session.
+func (s *Server) endSession(id string) {
 	s.mu.Lock()
 	s.live--
 	live := s.live
+	delete(s.states, id)
 	s.mu.Unlock()
 	s.mLive.Set(int64(live))
+	s.cfg.Flight.End(id)
 	s.sessions.Done()
+}
+
+// dumpFlight logs the session's flight-recorder ring as one JSON blob —
+// the post-mortem attached to every panic, protocol error, and abort.
+func (s *Server) dumpFlight(log *slog.Logger, id string) {
+	events := s.cfg.Flight.Dump(id)
+	if len(events) == 0 {
+		return
+	}
+	blob, err := json.Marshal(events)
+	if err != nil {
+		return
+	}
+	log.Error("serve: flight recorder dump", "events", len(events), "ring", json.RawMessage(blob))
 }
 
 // openSession validates the negotiable parts of hello against the chosen
@@ -472,6 +580,7 @@ func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*co
 	welcome := &Welcome{
 		Proto:     Proto,
 		Session:   id,
+		SessionID: id,
 		Benchmark: hello.Benchmark,
 		Model:     hello.Model,
 		Backend:   backend,
@@ -515,20 +624,24 @@ func (s *Server) writeFrame(conn net.Conn, t FrameType, v any) error {
 // judgments out, summary at end-of-stream. It owns every post-welcome write
 // and the connection's close.
 type runner struct {
-	srv  *Server
-	id   string
-	conn net.Conn
-	sess *core.Session
-	q    <-chan inMsg
-	shed *atomic.Int64
+	srv   *Server
+	id    string
+	conn  net.Conn
+	sess  *core.Session
+	q     <-chan inMsg
+	shed  *atomic.Int64
+	log   *slog.Logger
+	state *sessionState
+	wall  *obs.WallTrack
 }
 
 // run executes the session to completion. A panic anywhere in the
-// simulation is confined to this session: it is counted, logged, reported
-// to the client as an internal error, and the server keeps serving.
+// simulation is confined to this session: it is counted, logged (with the
+// flight recorder's recent history), reported to the client as an internal
+// error, and the server keeps serving.
 func (r *runner) run() error {
 	s := r.srv
-	defer s.endSession()
+	defer s.endSession(r.id)
 	defer r.conn.Close()
 	// The reader blocks sending into q when the queue policy is block; keep
 	// draining after exit so it can always make progress to its own close.
@@ -539,7 +652,9 @@ func (r *runner) run() error {
 	defer func() {
 		if p := recover(); p != nil {
 			s.mPanics.Inc()
-			s.cfg.Logf("serve: %s panic: %v", r.id, p)
+			s.cfg.Flight.Record(r.id, "panic", map[string]any{"value": fmt.Sprint(p)})
+			r.log.Error("serve: session panic", "panic", p)
+			s.dumpFlight(r.log, r.id)
 			r.writeError(ErrInternal, fmt.Sprintf("session panic: %v", p))
 		}
 	}()
@@ -560,37 +675,60 @@ func (r *runner) run() error {
 			sawEOS = true
 			break
 		}
+		feedStart := time.Now()
 		if err := feed(msg.data); err != nil {
+			s.cfg.Flight.Record(r.id, "error", map[string]any{"err": err.Error()})
+			r.log.Error("serve: feed failed", "err", err)
+			s.dumpFlight(r.log, r.id)
 			r.writeError(ErrInternal, err.Error())
 			return fmt.Errorf("serve: %s: %w", r.id, err)
 		}
-		if err := r.flushJudgments(&judgBuf); err != nil {
+		s.mFeedSec.Observe(time.Since(feedStart).Seconds())
+		r.wall.Since("feed", feedStart, map[string]any{obs.SessionKey: r.id, "bytes": len(msg.data)})
+		wrote, err := r.flushJudgments(&judgBuf)
+		if err != nil {
 			return nil // client gone; nothing left to deliver
+		}
+		if wrote > 0 {
+			// The headline serving SLO: this chunk left the socket at
+			// msg.at; its last judgment is on the wire now.
+			s.mE2ESec.Observe(time.Since(msg.at).Seconds())
 		}
 	}
 	if !sawEOS {
 		// Reader closed the queue without EOS: disconnect or timeout. The
 		// session dies with it; there is no one to summarise to.
-		s.cfg.Logf("serve: %s aborted before eos", r.id)
+		s.cfg.Flight.Record(r.id, "abort", nil)
+		r.log.Warn("serve: session aborted before eos")
+		s.dumpFlight(r.log, r.id)
 		return nil
 	}
 	err := func() error {
 		s.batch.producerUp()
 		defer s.batch.producerDown()
+		drainStart := time.Now()
+		defer r.wall.Since("drain", drainStart, map[string]any{obs.SessionKey: r.id})
 		return r.sess.Drain()
 	}()
 	if err != nil {
+		s.cfg.Flight.Record(r.id, "error", map[string]any{"err": err.Error()})
+		r.log.Error("serve: drain failed", "err", err)
+		s.dumpFlight(r.log, r.id)
 		r.writeError(ErrInternal, err.Error())
 		return fmt.Errorf("serve: %s drain: %w", r.id, err)
 	}
-	if err := r.flushJudgments(&judgBuf); err != nil {
+	if _, err := r.flushJudgments(&judgBuf); err != nil {
 		return nil
 	}
 	sum := r.summary()
 	if err := s.writeFrame(r.conn, FrameSummary, sum); err != nil {
 		return nil
 	}
-	s.cfg.Logf("serve: %s done: %d judged, %d events, %d trace bytes", r.id, sum.Judged, sum.Events, sum.TraceBytes)
+	s.cfg.Flight.Record(r.id, "summary", map[string]any{
+		"judged": sum.Judged, "events": sum.Events, "trace_bytes": sum.TraceBytes,
+	})
+	r.log.Info("serve: session done",
+		"judged", sum.Judged, "events", sum.Events, "trace_bytes", sum.TraceBytes)
 	return nil
 }
 
@@ -599,10 +737,10 @@ func (r *runner) run() error {
 // syscall — a chunk typically yields a burst of judgments, and per-frame
 // writes would make the socket the hot path at serving rates. The byte
 // stream is identical to writing each frame alone.
-func (r *runner) flushJudgments(buf *[]byte) error {
+func (r *runner) flushJudgments(buf *[]byte) (int, error) {
 	res := r.sess.Results()
 	if len(res) == 0 {
-		return nil
+		return 0, nil
 	}
 	*buf = (*buf)[:0]
 	for _, j := range res {
@@ -617,11 +755,18 @@ func (r *runner) flushJudgments(buf *[]byte) error {
 		})
 	}
 	r.conn.SetWriteDeadline(time.Now().Add(r.srv.cfg.WriteTimeout))
+	writeStart := time.Now()
 	if _, err := r.conn.Write(*buf); err != nil {
-		return err
+		return 0, err
 	}
+	r.srv.mWriteSec.Observe(time.Since(writeStart).Seconds())
+	r.wall.Since("judgment_write", writeStart,
+		map[string]any{obs.SessionKey: r.id, "judgments": len(res)})
 	r.srv.mJudgments.Add(int64(len(res)))
-	return nil
+	r.state.judged.Add(int64(len(res)))
+	r.state.touch()
+	r.srv.cfg.Flight.Record(r.id, "judgments", map[string]any{"count": len(res)})
+	return len(res), nil
 }
 
 // summary assembles the end-of-stream summary from the drained session.

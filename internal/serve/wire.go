@@ -165,8 +165,14 @@ type Hello struct {
 
 // Welcome is the server's negotiation result.
 type Welcome struct {
-	Proto     string `json:"proto"`
-	Session   string `json:"session"`
+	Proto   string `json:"proto"`
+	Session string `json:"session"`
+	// SessionID duplicates Session under the key the observability plane
+	// uses everywhere else — log lines, wall-trace span args, flight
+	// recorder, /debug/sessions. A pure JSON addition: old clients ignore
+	// it, old servers omit it, no wire version bump. New code should read
+	// SessionID (via Client.SessionID, which falls back to Session).
+	SessionID string `json:"session_id,omitempty"`
 	Benchmark string `json:"benchmark"`
 	Model     string `json:"model"`
 	Backend   string `json:"backend"`
