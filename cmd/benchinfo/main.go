@@ -150,6 +150,30 @@ func printBackendsBaseline(doc map[string]any) {
 			}
 		}
 	}
+	if cb, ok := doc["cpu_benchmarks"].(map[string]any); ok {
+		fmt.Printf("\nvictim-CPU engine (BenchmarkCPURun, zero allocs/op asserted in-bench):\n")
+		fmt.Printf("%-26s %14s %14s %12s\n", "mix", "ns/op", "Minstr/s", "vs seed")
+		for _, name := range sortedKeys(cb) {
+			row, _ := cb[name].(map[string]any)
+			speedup := "-"
+			if v, ok := row["speedup_vs_seed"].(float64); ok {
+				speedup = fmt.Sprintf("%.2fx", v)
+			}
+			mips := "-"
+			if v, ok := row["minstr_per_s"].(float64); ok {
+				mips = fmt.Sprintf("%.1f", v)
+			}
+			fmt.Printf("%-26s %s %14s %12s\n", name, numCell(row, "ns_per_op", 14), mips, speedup)
+		}
+	}
+	if sp, ok := doc["block_engine_speedup_vs_seed"].(map[string]any); ok {
+		fmt.Printf("\nblock engine vs seed interpreter (same host, back-to-back):\n")
+		for _, k := range sortedKeys(sp) {
+			if v, ok := sp[k].(float64); ok {
+				fmt.Printf("  %-26s %6.2fx\n", k, v)
+			}
+		}
+	}
 }
 
 // printServeBaseline lays out BENCH_serve.json: the loadgen fleet shape,

@@ -9,9 +9,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rtad/internal/cpu"
 	"rtad/internal/igm"
+	"rtad/internal/isa"
 	"rtad/internal/kernels"
 	"rtad/internal/ml"
 	"rtad/internal/workload"
@@ -85,6 +87,31 @@ type Deployment struct {
 	Pool      []cpu.BranchEvent
 	// TrainWindows reports how many windows the model was fitted on.
 	TrainWindows int
+
+	// victimOnce memoizes the generated victim binary and the basic-block
+	// translation cache built over it, so every session opened against this
+	// deployment executes the same immutable image and shares one lazily
+	// filled cache — each block translates once per deployment, not once
+	// per session. Sharing is lock-free and race-free (see cpu.Cache).
+	victimOnce  sync.Once
+	victimProg  *isa.Program
+	victimCache *cpu.Cache
+	victimErr   error
+}
+
+// victimProgram returns the deployment's generated victim binary and the
+// shared translation cache over it, generating both on first use. The
+// profile's generator is deterministic, so memoizing changes nothing
+// architecturally — it only makes the image's identity (and hence cache
+// sharing) explicit.
+func (d *Deployment) victimProgram() (*isa.Program, *cpu.Cache, error) {
+	d.victimOnce.Do(func() {
+		d.victimProg, d.victimErr = d.Profile.Generate()
+		if d.victimErr == nil {
+			d.victimCache = cpu.NewCache(d.victimProg)
+		}
+	})
+	return d.victimProg, d.victimCache, d.victimErr
 }
 
 // Window returns the deployment's input-vector length.

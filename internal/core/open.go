@@ -153,11 +153,11 @@ func (s *Session) frontEnd(dep *Deployment, o *openConfig) error {
 		s.front = newTraceFront(o.gap)
 		return nil
 	}
-	prog, err := dep.Profile.Generate()
+	prog, tcache, err := dep.victimProgram()
 	if err != nil {
 		return err
 	}
-	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap})
+	s.cpu = cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: s.swap, Cache: tcache})
 	return nil
 }
 

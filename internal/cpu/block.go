@@ -1,0 +1,331 @@
+package cpu
+
+import (
+	"sync/atomic"
+
+	"rtad/internal/isa"
+)
+
+// This file is the execution half of the tiered victim-CPU engine: basic
+// blocks lifted out of the immutable program image execute as flat micro-op
+// arrays with pre-lowered semantics and precomputed charges, and everything
+// the translator did not lift (control flow, traps, faults) falls back to
+// the generic Step, which remains the single source of truth for
+// per-instruction semantics. See translate.go for the discovery/lowering
+// pass and DESIGN.md "Tiered victim CPU" for the contract.
+
+// uopKind discriminates the micro-op templates the translator emits. The
+// executor dispatches directly on this tag — a flat switch over a dense
+// enum, the Go shape of direct threading.
+type uopKind uint8
+
+const (
+	uopNop       uopKind = iota
+	uopALUReg            // rd = fn(regs[rn], regs[rm])
+	uopALUImm            // rd = fn(regs[rn], imm)
+	uopCmpReg            // flags ← regs[rn] vs regs[rm]
+	uopCmpImm            // flags ← regs[rn] vs imm
+	uopLdr               // rd = mem[regs[rn]+imm]; can fault
+	uopStr               // mem[regs[rn]+imm] = regs[rd]; can fault
+	uopALUImmLdr         // fused: rd = fn(regs[rn], imm); rm = mem[regs[rd]+imm2]
+	uopALUImmStr         // fused: rd = fn(regs[rn], imm); mem[regs[rd]+imm2] = regs[rm]
+	uopCmpRegBcc         // fused terminator: flags ← regs[rn] vs regs[rm]; br on flags
+	uopCmpImmBcc         // fused terminator: flags ← regs[rn] vs imm; br on flags
+)
+
+// uop is one pre-lowered micro-op. Fused pairs (address formation feeding a
+// memory access, compare feeding a conditional branch) occupy one uop with
+// n=2; rm doubles as the second destination/source register of fused memory
+// pairs, imm2 as their second immediate.
+type uop struct {
+	kind uopKind
+	n    uint8 // instructions retired (words covered): 1, or 2 when fused
+	cyc  uint8 // summed base cycle charge of the (possibly fused) pair
+	c1   uint8 // lead op's cycle charge alone (fused-pair fault accounting)
+	rd   uint8
+	rn   uint8
+	rm   uint8
+	br   isa.Op      // fused conditional-branch opcode (uopCmp*Bcc)
+	fn   isa.ALUFunc // pre-lowered ALU semantics (uopALU*)
+	imm  int32
+	imm2 int32
+	// target is the fused conditional branch's taken destination,
+	// precomputed from the encoding at translation time.
+	target uint32
+}
+
+// block is one translated basic block: straight-line micro-ops from the
+// entry pc, optionally terminated by a fused compare-and-branch. instret
+// and cycles are the precomputed whole-block charges (equal to the sum of
+// the member instructions' Step charges).
+type block struct {
+	pc      uint32 // entry address
+	end     uint32 // address after the last covered word
+	instret int64
+	cycles  int64
+	code    []uop
+}
+
+// noBlock is the negative-cache sentinel: translation at this pc yields
+// nothing liftable (the word is a branch, trap, halt, or undecodable), so
+// the dispatcher should go straight to Step without retrying translation.
+var noBlock = &block{}
+
+// Cache is a basic-block translation cache over one immutable program
+// image, indexed like the predecode cache by (pc-base)/WordBytes. The image
+// is write-protected by the threat model (W^X), so translations never need
+// invalidation, and the cache may be shared read-mostly by any number of
+// CPUs executing the same program — e.g. every session of one deployment.
+//
+// Concurrent use is safe without locks: slots are filled lazily and
+// published with atomic pointer stores. Translation is a pure function of
+// the immutable image, so racing fills produce interchangeable blocks and
+// last-store-wins is harmless.
+type Cache struct {
+	prog  *isa.Program
+	slots []atomic.Pointer[block]
+}
+
+// NewCache builds an empty translation cache for prog. Blocks are
+// discovered and translated on first dispatch, one entry point at a time.
+func NewCache(prog *isa.Program) *Cache {
+	return &Cache{prog: prog, slots: make([]atomic.Pointer[block], len(prog.Words))}
+}
+
+// execBlock executes b's micro-ops, retiring at most budget instructions
+// (budget ≥ 1), and returns how many retired. On any early exit — budget
+// exhausted before a micro-op, or a memory micro-op about to fault — c.pc
+// is left at the first unexecuted instruction so the generic path resumes
+// with bit-identical architectural state and counter charges; a return of 0
+// means the caller must make progress through Step instead.
+func (c *CPU) execBlock(b *block, budget int64) int64 {
+	if budget >= b.instret {
+		return c.execFast(b)
+	}
+	return c.execSlow(b, budget)
+}
+
+// execFast is the full-budget path: charge accounting is deferred — the
+// block's presummed cycle and instret charges land once at the end (or just
+// before a fused terminator resolves, which is equivalent because the
+// terminator is always last) — so the loop carries no per-op accounting and
+// no budget checks. A memory micro-op about to fault takes the cold bail
+// path, which reconstructs the exact partial charges Step would have made.
+// A fused terminator still charges its dynamic costs (taken penalty, mode
+// instrumentation, sink stall) through the shared retirement helpers.
+func (c *CPU) execFast(b *block) int64 {
+	code := b.code
+	for i := range code {
+		u := &code[i]
+		switch u.kind {
+		case uopNop:
+		case uopALUReg:
+			c.regs[u.rd] = u.fn(c.regs[u.rn], c.regs[u.rm])
+		case uopALUImm:
+			c.regs[u.rd] = u.fn(c.regs[u.rn], uint32(u.imm))
+		case uopCmpReg:
+			a, o := int32(c.regs[u.rn]), int32(c.regs[u.rm])
+			c.flagEQ, c.flagLT = a == o, a < o
+		case uopCmpImm:
+			a := int32(c.regs[u.rn])
+			c.flagEQ, c.flagLT = a == u.imm, a < u.imm
+		case uopLdr:
+			addr := c.regs[u.rn] + uint32(u.imm)
+			if !c.memOK(addr) {
+				return c.bailFast(b, i, false)
+			}
+			c.regs[u.rd] = load32(c.mem, addr)
+		case uopStr:
+			addr := c.regs[u.rn] + uint32(u.imm)
+			if !c.storeOK(addr) {
+				return c.bailFast(b, i, false)
+			}
+			store32(c.mem, addr, c.regs[u.rd])
+		case uopALUImmLdr:
+			a := u.fn(c.regs[u.rn], uint32(u.imm))
+			c.regs[u.rd] = a
+			addr := a + uint32(u.imm2)
+			if !c.memOK(addr) {
+				return c.bailFast(b, i, true)
+			}
+			c.regs[u.rm] = load32(c.mem, addr)
+		case uopALUImmStr:
+			a := u.fn(c.regs[u.rn], uint32(u.imm))
+			c.regs[u.rd] = a
+			addr := a + uint32(u.imm2)
+			if !c.storeOK(addr) {
+				return c.bailFast(b, i, true)
+			}
+			store32(c.mem, addr, c.regs[u.rm])
+		case uopCmpRegBcc:
+			a, o := int32(c.regs[u.rn]), int32(c.regs[u.rm])
+			c.flagEQ, c.flagLT = a == o, a < o
+			c.cycles += b.cycles
+			c.instret += b.instret
+			c.execBcc(u, b.end)
+			return b.instret
+		case uopCmpImmBcc:
+			a := int32(c.regs[u.rn])
+			c.flagEQ, c.flagLT = a == u.imm, a < u.imm
+			c.cycles += b.cycles
+			c.instret += b.instret
+			c.execBcc(u, b.end)
+			return b.instret
+		}
+	}
+	c.cycles += b.cycles
+	c.instret += b.instret
+	c.pc = b.end
+	return b.instret
+}
+
+// bailFast is execFast's cold fault exit: micro-op i is about to fault, so
+// reconstruct the charges of the already-executed prefix (deferred on the
+// fast path) and leave pc at the faulting instruction for Step to report
+// the canonical error. When lead is set, the faulting micro-op is a fused
+// pair whose address-forming half already committed its register write: it
+// retires alone with its split-out charge (u.c1), exactly as Step would.
+func (c *CPU) bailFast(b *block, i int, lead bool) int64 {
+	var n, cyc int64
+	for j := 0; j < i; j++ {
+		n += int64(b.code[j].n)
+		cyc += int64(b.code[j].cyc)
+	}
+	if lead {
+		cyc += int64(b.code[i].c1)
+		n++
+	}
+	c.cycles += cyc
+	c.instret += n
+	c.pc = b.pc + uint32(n)*isa.WordBytes
+	return n
+}
+
+// execSlow is the general path: per-micro-op budget checks and charge
+// accounting, memory micro-ops validated before they commit. It is taken on
+// quantum boundaries that land inside the block and for every block that
+// touches memory.
+func (c *CPU) execSlow(b *block, budget int64) int64 {
+	var retired int64
+	pc := b.pc
+	code := b.code
+	for i := range code {
+		u := &code[i]
+		if int64(u.n) > budget-retired {
+			c.pc = pc
+			return retired
+		}
+		switch u.kind {
+		case uopNop:
+		case uopALUReg:
+			c.regs[u.rd] = u.fn(c.regs[u.rn], c.regs[u.rm])
+		case uopALUImm:
+			c.regs[u.rd] = u.fn(c.regs[u.rn], uint32(u.imm))
+		case uopCmpReg:
+			a, o := int32(c.regs[u.rn]), int32(c.regs[u.rm])
+			c.flagEQ, c.flagLT = a == o, a < o
+		case uopCmpImm:
+			a := int32(c.regs[u.rn])
+			c.flagEQ, c.flagLT = a == u.imm, a < u.imm
+		case uopLdr:
+			addr := c.regs[u.rn] + uint32(u.imm)
+			if !c.memOK(addr) {
+				c.pc = pc
+				return retired
+			}
+			c.regs[u.rd] = load32(c.mem, addr)
+		case uopStr:
+			addr := c.regs[u.rn] + uint32(u.imm)
+			if !c.storeOK(addr) {
+				c.pc = pc
+				return retired
+			}
+			store32(c.mem, addr, c.regs[u.rd])
+		case uopALUImmLdr:
+			a := u.fn(c.regs[u.rn], uint32(u.imm))
+			c.regs[u.rd] = a
+			addr := a + uint32(u.imm2)
+			if !c.memOK(addr) {
+				// The address-forming instruction retires alone; the load
+				// faults in Step with the canonical error.
+				c.cycles += int64(u.c1)
+				c.instret++
+				c.pc = pc + isa.WordBytes
+				return retired + 1
+			}
+			c.regs[u.rm] = load32(c.mem, addr)
+		case uopALUImmStr:
+			a := u.fn(c.regs[u.rn], uint32(u.imm))
+			c.regs[u.rd] = a
+			addr := a + uint32(u.imm2)
+			if !c.storeOK(addr) {
+				c.cycles += int64(u.c1)
+				c.instret++
+				c.pc = pc + isa.WordBytes
+				return retired + 1
+			}
+			store32(c.mem, addr, c.regs[u.rm])
+		case uopCmpRegBcc:
+			a, o := int32(c.regs[u.rn]), int32(c.regs[u.rm])
+			c.flagEQ, c.flagLT = a == o, a < o
+			c.cycles += int64(u.cyc)
+			c.instret += int64(u.n)
+			c.execBcc(u, pc+2*isa.WordBytes)
+			return retired + int64(u.n)
+		case uopCmpImmBcc:
+			a := int32(c.regs[u.rn])
+			c.flagEQ, c.flagLT = a == u.imm, a < u.imm
+			c.cycles += int64(u.cyc)
+			c.instret += int64(u.n)
+			c.execBcc(u, pc+2*isa.WordBytes)
+			return retired + int64(u.n)
+		}
+		c.cycles += int64(u.cyc)
+		c.instret += int64(u.n)
+		retired += int64(u.n)
+		pc += uint32(u.n) * isa.WordBytes
+	}
+	c.pc = pc
+	return retired
+}
+
+// execBcc resolves a fused compare-and-branch terminator whose base cycle
+// and instret charges are already applied: fall is the not-taken
+// continuation (the address after the pair), and the branch retires through
+// the same takeTo/retireBranch helpers Step uses, so penalties, events,
+// instrumentation and stall charges are bit-identical.
+func (c *CPU) execBcc(u *uop, fall uint32) {
+	bccPC := fall - isa.WordBytes
+	if taken, _ := isa.CondTaken(u.br, c.flagEQ, c.flagLT); taken {
+		c.pc = c.takeTo(bccPC, u.target, KindDirect)
+		return
+	}
+	c.retireBranch(bccPC, fall, KindDirect, false)
+	c.pc = fall
+}
+
+// memOK reports whether a word access at addr is architecturally valid,
+// mirroring loadWord's checks without constructing an error.
+func (c *CPU) memOK(addr uint32) bool {
+	return addr%4 == 0 && int(addr)+4 <= len(c.mem)
+}
+
+// storeOK additionally applies the W^X rule, mirroring storeWord.
+func (c *CPU) storeOK(addr uint32) bool {
+	if !c.memOK(addr) {
+		return false
+	}
+	return !c.wx || !c.prog.Contains(addr)
+}
+
+func load32(mem []byte, addr uint32) uint32 {
+	return uint32(mem[addr]) | uint32(mem[addr+1])<<8 |
+		uint32(mem[addr+2])<<16 | uint32(mem[addr+3])<<24
+}
+
+func store32(mem []byte, addr, v uint32) {
+	mem[addr] = byte(v)
+	mem[addr+1] = byte(v >> 8)
+	mem[addr+2] = byte(v >> 16)
+	mem[addr+3] = byte(v >> 24)
+}

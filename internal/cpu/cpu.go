@@ -16,6 +16,13 @@ type Config struct {
 	// rewrite code and must divert control flow through legitimate
 	// instructions — the attack class RTAD is built to catch.
 	WXProtect bool
+	// Cache optionally shares a basic-block translation cache with other
+	// cores executing the same program (it must have been built by NewCache
+	// over the identical *isa.Program; a mismatched cache is ignored and a
+	// private one is built instead). Sessions of one deployment share a
+	// cache so each block is translated once per deployment, not once per
+	// session; sharing is lock-free and race-free — see Cache.
+	Cache *Cache
 }
 
 // DefaultMemBytes is a comfortable data RAM for the generated workloads.
@@ -35,6 +42,10 @@ type CPU struct {
 	dec   []isa.Instruction
 	decOK []bool
 	base  uint32
+	// cache is the tiered engine's basic-block translation cache (possibly
+	// shared with other cores running the same program). Run dispatches
+	// whole blocks from it and falls back to Step between them.
+	cache *Cache
 
 	regs [isa.NumRegs]uint32
 	pc   uint32
@@ -53,7 +64,10 @@ type CPU struct {
 	stallCycles int64 // cycles lost to sink backpressure (RTAD overhead)
 	instrCycles int64 // cycles spent in instrumentation stubs (SW_* overhead)
 	kindCounts  [numKinds]int64
-	halted      bool
+	// instrCost memoizes InstrumentationCost(mode, kind) — a pure function
+	// of construction-time state — off the branch retirement path.
+	instrCost [numKinds]int64
+	halted    bool
 }
 
 // New builds a core around an assembled program. The stack pointer starts at
@@ -78,6 +92,14 @@ func New(prog *isa.Program, cfg Config) *CPU {
 		if ins, err := isa.Decode(w); err == nil {
 			c.dec[i], c.decOK[i] = ins, true
 		}
+	}
+	if cfg.Cache != nil && cfg.Cache.prog == prog {
+		c.cache = cfg.Cache
+	} else {
+		c.cache = NewCache(prog)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		c.instrCost[k] = InstrumentationCost(cfg.Mode, k)
 	}
 	c.regs[isa.SP] = uint32(cfg.MemBytes - 16)
 	c.regs[isa.R10] = uint32(cfg.MemBytes / 2)
@@ -140,7 +162,7 @@ func (c *CPU) storeWord(addr, v uint32) error {
 // mode-specific instrumentation cost.
 func (c *CPU) retireBranch(pc, target uint32, kind Kind, taken bool) {
 	c.kindCounts[kind]++
-	if cost := InstrumentationCost(c.mode, kind); cost > 0 {
+	if cost := c.instrCost[kind]; cost > 0 {
 		c.cycles += cost
 		c.instrCycles += cost
 	}
@@ -164,9 +186,14 @@ func (c *CPU) takeTo(pc, target uint32, kind Kind) uint32 {
 	return target
 }
 
-// fetchSlow reproduces the canonical fetch/decode errors for PCs outside
-// the predecode cache (bad fetch) or words that never decoded.
+// fetchSlow classifies a fetch that missed the predecode cache and returns
+// its canonical error: a misaligned PC (an indirect transfer landed off a
+// word boundary — reported explicitly, not as an out-of-image fetch), a PC
+// outside the program image, or a word that never decoded.
 func (c *CPU) fetchSlow() error {
+	if c.pc%isa.WordBytes != 0 {
+		return fmt.Errorf("cpu: misaligned pc %#x", c.pc)
+	}
 	w, err := c.prog.WordAt(c.pc)
 	if err != nil {
 		return err
@@ -174,7 +201,7 @@ func (c *CPU) fetchSlow() error {
 	if _, err := isa.Decode(w); err != nil {
 		return fmt.Errorf("cpu: at pc %#x: %v", c.pc, err)
 	}
-	// Unreachable in practice: a decodable in-bounds word is always cached.
+	// Unreachable: an aligned, in-bounds, decodable word is always cached.
 	return fmt.Errorf("cpu: at pc %#x: predecode cache miss", c.pc)
 }
 
@@ -207,28 +234,11 @@ func (c *CPU) Step() error {
 	case isa.NOP:
 	case isa.HALT:
 		c.halted = true
-	case isa.ADD:
-		c.regs[ins.Rd] = c.regs[ins.Rn] + op2
-	case isa.SUB:
-		c.regs[ins.Rd] = c.regs[ins.Rn] - op2
-	case isa.AND:
-		c.regs[ins.Rd] = c.regs[ins.Rn] & op2
-	case isa.ORR:
-		c.regs[ins.Rd] = c.regs[ins.Rn] | op2
-	case isa.EOR:
-		c.regs[ins.Rd] = c.regs[ins.Rn] ^ op2
-	case isa.LSL:
-		c.regs[ins.Rd] = c.regs[ins.Rn] << (op2 & 31)
-	case isa.LSR:
-		c.regs[ins.Rd] = c.regs[ins.Rn] >> (op2 & 31)
-	case isa.ASR:
-		c.regs[ins.Rd] = uint32(int32(c.regs[ins.Rn]) >> (op2 & 31))
-	case isa.MUL:
-		c.regs[ins.Rd] = c.regs[ins.Rn] * op2
-	case isa.MOV:
-		c.regs[ins.Rd] = op2
-	case isa.MVN:
-		c.regs[ins.Rd] = ^op2
+	case isa.ADD, isa.SUB, isa.AND, isa.ORR, isa.EOR,
+		isa.LSL, isa.LSR, isa.ASR, isa.MUL, isa.MOV, isa.MVN:
+		// One definition of the data semantics: the same lowered functions
+		// the block translator compiles into micro-ops (isa.ALUFunc).
+		c.regs[ins.Rd] = isa.EvalALU(ins.Op, c.regs[ins.Rn], op2)
 	case isa.CMP:
 		a, b := int32(c.regs[ins.Rn]), int32(op2)
 		c.flagEQ = a == b
@@ -247,17 +257,7 @@ func (c *CPU) Step() error {
 	case isa.B:
 		next = c.takeTo(pc, next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
 	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
-		taken := false
-		switch ins.Op {
-		case isa.BEQ:
-			taken = c.flagEQ
-		case isa.BNE:
-			taken = !c.flagEQ
-		case isa.BLT:
-			taken = c.flagLT
-		case isa.BGE:
-			taken = !c.flagLT
-		}
+		taken, _ := isa.CondTaken(ins.Op, c.flagEQ, c.flagLT)
 		if taken {
 			next = c.takeTo(pc, next+uint32(ins.Imm)*isa.WordBytes, KindDirect)
 		} else {
@@ -290,57 +290,36 @@ func (c *CPU) Step() error {
 // architectural fault. It returns the number of instructions retired during
 // this call.
 //
-// This is the batched fetch/execute inner loop: straight-line instructions
-// (the bulk of every workload) execute in the tight loop below on the
-// predecode cache, with no per-instruction call; control transfers, loads/
-// stores, traps and cache misses fall out to the generic Step, which is the
-// single source of truth for their semantics.
+// This is the tiered engine's dispatch loop: execution proceeds whole basic
+// blocks at a time from the translation cache (translated lazily, entry
+// point by entry point — see translate.go), with precise budget accounting
+// across partial-block quantum boundaries. Anything the block engine does
+// not handle — unfused control flow, traps, faults, halts, unliftable entry
+// points — executes through the generic Step, which is the single source of
+// truth for per-instruction semantics. The two tiers are bit-identical in
+// architectural state, counters and retired event streams (see
+// FuzzCPUTiers and the equivalence suites).
 func (c *CPU) Run(maxInstr int64) (int64, error) {
 	start := c.instret
 	end := start + maxInstr
+	tc := c.cache
 	for !c.halted && c.instret < end {
 		pc := c.pc
 		idx := (pc - c.base) / isa.WordBytes
-		if pc%isa.WordBytes == 0 && pc >= c.base && idx < uint32(len(c.dec)) && c.decOK[idx] {
-			ins := &c.dec[idx]
-			if op := ins.Op; op >= isa.ADD && op <= isa.CMP && op != isa.MUL || op == isa.NOP {
-				// One-cycle register op: mirror of Step's ALU cases.
-				op2 := c.regs[ins.Rm]
-				if ins.HasImm {
-					op2 = uint32(ins.Imm)
-				}
-				switch op {
-				case isa.NOP:
-				case isa.ADD:
-					c.regs[ins.Rd] = c.regs[ins.Rn] + op2
-				case isa.SUB:
-					c.regs[ins.Rd] = c.regs[ins.Rn] - op2
-				case isa.AND:
-					c.regs[ins.Rd] = c.regs[ins.Rn] & op2
-				case isa.ORR:
-					c.regs[ins.Rd] = c.regs[ins.Rn] | op2
-				case isa.EOR:
-					c.regs[ins.Rd] = c.regs[ins.Rn] ^ op2
-				case isa.LSL:
-					c.regs[ins.Rd] = c.regs[ins.Rn] << (op2 & 31)
-				case isa.LSR:
-					c.regs[ins.Rd] = c.regs[ins.Rn] >> (op2 & 31)
-				case isa.ASR:
-					c.regs[ins.Rd] = uint32(int32(c.regs[ins.Rn]) >> (op2 & 31))
-				case isa.MOV:
-					c.regs[ins.Rd] = op2
-				case isa.MVN:
-					c.regs[ins.Rd] = ^op2
-				case isa.CMP:
-					a, b := int32(c.regs[ins.Rn]), int32(op2)
-					c.flagEQ = a == b
-					c.flagLT = a < b
-				}
-				c.cycles++
-				c.instret++
-				c.pc = pc + isa.WordBytes
+		if pc%isa.WordBytes == 0 && pc >= c.base && idx < uint32(len(tc.slots)) {
+			b := tc.slots[idx].Load()
+			if b == nil {
+				b = tc.translate(idx)
+				tc.slots[idx].Store(b)
+			}
+			if len(b.code) != 0 && c.execBlock(b, end-c.instret) > 0 {
 				continue
 			}
+			// Zero progress: the entry point is unliftable (noBlock), the
+			// first micro-op needs more budget than remains (a fused pair
+			// at a 1-instruction quantum edge), or it is about to fault.
+			// Step retires the lead instruction or reports the canonical
+			// error.
 		}
 		if err := c.Step(); err != nil {
 			return c.instret - start, err

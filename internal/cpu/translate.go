@@ -1,0 +1,146 @@
+package cpu
+
+import "rtad/internal/isa"
+
+// This file is the translation half of the tiered engine: a discovery pass
+// that lifts the straight-line region starting at a given word of the
+// immutable program image into a block of pre-lowered micro-ops. Lifting is
+// driven entirely by the ISA's op-class metadata (isa.Class) and lowering
+// tables (isa.ALUFunc), so the translator holds no opcode semantics of its
+// own; anything outside the liftable classes ends the block and executes
+// through the generic Step.
+//
+// Two peephole fusions cover the dominant adjacent pairs of the generated
+// workloads:
+//
+//   - compare + conditional branch (CMP/Bcc) becomes a fused block
+//     terminator resolving the branch in-engine, so hot loop back-edges
+//     never leave block dispatch;
+//   - immediate-form address formation feeding a load/store through the
+//     freshly written base register (MOV/ADD/ORR rX, …; LDR/STR …, [rX, #k])
+//     becomes one micro-op, with the lead's charges split out (uop.c1) so a
+//     faulting access retires the address formation exactly as Step would.
+
+// maxBlockUops caps translated block length. Generated straight-line runs
+// are far shorter; the cap bounds translation work per entry point and the
+// per-dispatch budget scan.
+const maxBlockUops = 128
+
+// translate lifts the region starting at word index idx. It always returns
+// a non-nil block; an empty one (noBlock) negatively caches entry points
+// that start with a non-liftable instruction.
+func (tc *Cache) translate(idx uint32) *block {
+	words := tc.prog.Words
+	base := tc.prog.Base
+	b := &block{pc: base + idx*isa.WordBytes}
+	w := idx
+	for w < uint32(len(words)) && len(b.code) < maxBlockUops {
+		ins, err := isa.Decode(words[w])
+		if err != nil {
+			break // undecodable word: Step reports the canonical error
+		}
+		switch ins.Op.Class() {
+		case isa.ClassNop:
+			b.code = append(b.code, uop{kind: uopNop, n: 1, cyc: uint8(ins.Op.Cycles())})
+			w++
+
+		case isa.ClassALU:
+			u := uop{
+				n: 1, cyc: uint8(ins.Op.Cycles()),
+				rd: uint8(ins.Rd), rn: uint8(ins.Rn), fn: ins.Op.ALU(),
+			}
+			if ins.HasImm {
+				u.kind, u.imm = uopALUImm, ins.Imm
+			} else {
+				u.kind, u.rm = uopALUReg, uint8(ins.Rm)
+			}
+			if ins.HasImm && w+1 < uint32(len(words)) {
+				if next, err := isa.Decode(words[w+1]); err == nil &&
+					next.Op.Class() == isa.ClassMem && next.Rn == ins.Rd {
+					// Address formation feeds the access's base register:
+					// fuse. rm carries the access's data register, imm2 its
+					// offset.
+					u.c1 = u.cyc
+					u.cyc += uint8(next.Op.Cycles())
+					u.n = 2
+					u.rm = uint8(next.Rd)
+					u.imm2 = next.Imm
+					if next.Op == isa.LDR {
+						u.kind = uopALUImmLdr
+					} else {
+						u.kind = uopALUImmStr
+					}
+					b.code = append(b.code, u)
+					w += 2
+					continue
+				}
+			}
+			b.code = append(b.code, u)
+			w++
+
+		case isa.ClassCmp:
+			u := uop{n: 1, cyc: uint8(ins.Op.Cycles()), rn: uint8(ins.Rn)}
+			if ins.HasImm {
+				u.kind, u.imm = uopCmpImm, ins.Imm
+			} else {
+				u.kind, u.rm = uopCmpReg, uint8(ins.Rm)
+			}
+			if w+1 < uint32(len(words)) {
+				if next, err := isa.Decode(words[w+1]); err == nil && next.Op.IsConditional() {
+					// Compare-and-branch terminator: precompute the taken
+					// target from the encoding; the executor resolves the
+					// direction against live flags.
+					u.n = 2
+					u.cyc += uint8(next.Op.Cycles())
+					u.br = next.Op
+					bccPC := base + (w+1)*isa.WordBytes
+					u.target = bccPC + isa.WordBytes + uint32(next.Imm)*isa.WordBytes
+					if ins.HasImm {
+						u.kind = uopCmpImmBcc
+					} else {
+						u.kind = uopCmpRegBcc
+					}
+					b.code = append(b.code, u)
+					w += 2
+					return tc.seal(b, w)
+				}
+			}
+			b.code = append(b.code, u)
+			w++
+
+		case isa.ClassMem:
+			u := uop{
+				n: 1, cyc: uint8(ins.Op.Cycles()),
+				rd: uint8(ins.Rd), rn: uint8(ins.Rn), imm: ins.Imm,
+			}
+			if ins.Op == isa.LDR {
+				u.kind = uopLdr
+			} else {
+				u.kind = uopStr
+			}
+			b.code = append(b.code, u)
+			w++
+
+		default:
+			// ClassBranch, ClassTrap, ClassHalt: the terminator executes
+			// through Step, exactly as Run's fallback always has.
+			return tc.seal(b, w)
+		}
+	}
+	return tc.seal(b, w)
+}
+
+// seal finalises a translated block ending before word index end: the
+// precomputed whole-block charges and the fall-through address. Blocks that
+// lifted nothing collapse to the shared negative-cache sentinel.
+func (tc *Cache) seal(b *block, end uint32) *block {
+	if len(b.code) == 0 {
+		return noBlock
+	}
+	b.end = tc.prog.Base + end*isa.WordBytes
+	for i := range b.code {
+		b.instret += int64(b.code[i].n)
+		b.cycles += int64(b.code[i].cyc)
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package isa
+
+// This file is the ISA's execution metadata: a per-op class table saying
+// what contract each opcode has with an execution engine (can it fault? does
+// it write a register? does it redirect control flow?), and per-op lowering
+// functions giving the pure data computation of every register-writing op.
+// The tiered CPU engine (internal/cpu) compiles basic blocks from these
+// tables instead of pattern-matching opcode ranges, and the generic
+// interpreter executes ALU ops through the same lowered functions — so both
+// tiers run literally the same semantics from one definition.
+
+// Class buckets opcodes by execution contract. The classes are what a
+// translation pass needs: everything in ClassALU/ClassNop/ClassCmp is
+// straight-line and cannot fault, ClassMem can fault on a bad address,
+// and the remaining classes end a basic block.
+type Class uint8
+
+// Execution classes.
+const (
+	ClassNop    Class = iota // no architectural effect beyond pc and cycles
+	ClassALU                 // rd = f(rn, op2); cannot fault, no flags
+	ClassCmp                 // sets the comparison flags; no register write
+	ClassMem                 // LDR/STR: data memory access, can fault
+	ClassBranch              // any control transfer (B/Bcc/BL/BR/BLR/RET)
+	ClassTrap                // SVC: kernel entry, retires a syscall event
+	ClassHalt                // HALT
+)
+
+var classNames = map[Class]string{
+	ClassNop: "nop", ClassALU: "alu", ClassCmp: "cmp", ClassMem: "mem",
+	ClassBranch: "branch", ClassTrap: "trap", ClassHalt: "halt",
+}
+
+// String names the class.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return "class(?)"
+}
+
+// opClasses is frozen alongside the opcode set: every op has exactly one
+// class, and the isa tests assert the table is total and consistent with
+// IsBranch/IsConditional/IsIndirect.
+var opClasses = [numOps]Class{
+	NOP:  ClassNop,
+	HALT: ClassHalt,
+	ADD:  ClassALU, SUB: ClassALU, AND: ClassALU, ORR: ClassALU,
+	EOR: ClassALU, LSL: ClassALU, LSR: ClassALU, ASR: ClassALU,
+	MUL: ClassALU, MOV: ClassALU, MVN: ClassALU,
+	CMP: ClassCmp,
+	LDR: ClassMem, STR: ClassMem,
+	B: ClassBranch, BEQ: ClassBranch, BNE: ClassBranch,
+	BLT: ClassBranch, BGE: ClassBranch,
+	BL: ClassBranch, BR: ClassBranch, BLR: ClassBranch, RET: ClassBranch,
+	SVC: ClassTrap,
+}
+
+// Class returns op's execution class. It replaces ad-hoc opcode range tests
+// (`op >= ADD && op <= CMP && op != MUL`) that silently rotted whenever the
+// opcode order changed.
+func (op Op) Class() Class {
+	if int(op) < len(opClasses) {
+		return opClasses[op]
+	}
+	return ClassBranch // undefined ops never enter a lifted region
+}
+
+// ALUFunc is the lowering of a ClassALU op: the pure function computing the
+// destination value from rn's value a and the second operand b (register or
+// immediate — operand selection is the engine's job, the function is the
+// same either way; MOV and MVN ignore a).
+type ALUFunc func(a, b uint32) uint32
+
+func aluAdd(a, b uint32) uint32 { return a + b }
+func aluSub(a, b uint32) uint32 { return a - b }
+func aluAnd(a, b uint32) uint32 { return a & b }
+func aluOrr(a, b uint32) uint32 { return a | b }
+func aluEor(a, b uint32) uint32 { return a ^ b }
+func aluLsl(a, b uint32) uint32 { return a << (b & 31) }
+func aluLsr(a, b uint32) uint32 { return a >> (b & 31) }
+func aluAsr(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }
+func aluMul(a, b uint32) uint32 { return a * b }
+func aluMov(_, b uint32) uint32 { return b }
+func aluMvn(_, b uint32) uint32 { return ^b }
+
+// aluFuncs is the lowering table; nil outside ClassALU.
+var aluFuncs = [numOps]ALUFunc{
+	ADD: aluAdd, SUB: aluSub, AND: aluAnd, ORR: aluOrr, EOR: aluEor,
+	LSL: aluLsl, LSR: aluLsr, ASR: aluAsr, MUL: aluMul,
+	MOV: aluMov, MVN: aluMvn,
+}
+
+// ALU returns op's lowering, or nil if op is not a register-writing ALU op.
+// The block translator stores the returned func in its micro-ops; the
+// interpreter executes the same funcs via EvalALU, so there is exactly one
+// definition of each op's data semantics.
+func (op Op) ALU() ALUFunc {
+	if int(op) < len(aluFuncs) {
+		return aluFuncs[op]
+	}
+	return nil
+}
+
+// EvalALU applies op's lowering to (a, b). It must only be called for
+// ClassALU ops (nil dereference otherwise, as for hardware: undefined).
+func EvalALU(op Op, a, b uint32) uint32 { return aluFuncs[op](a, b) }
+
+// CondTaken evaluates a conditional branch against the comparison flags
+// (eq: rn == op2, lt: rn < op2, signed). ok reports whether op is one of
+// the conditional branches; unconditional transfers return ok=false.
+func CondTaken(op Op, eq, lt bool) (taken, ok bool) {
+	switch op {
+	case BEQ:
+		return eq, true
+	case BNE:
+		return !eq, true
+	case BLT:
+		return lt, true
+	case BGE:
+		return !lt, true
+	}
+	return false, false
+}

@@ -1,0 +1,114 @@
+package isa
+
+import "testing"
+
+// TestClassTableTotal pins the contract the block translator builds on:
+// every defined opcode has a class consistent with the IsBranch /
+// IsConditional / IsIndirect predicates, every ClassALU op (and only
+// those) has a lowering, and undefined encodings fall into ClassBranch so
+// a lifted region can never run past them.
+func TestClassTableTotal(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		c := op.Class()
+		switch {
+		case op.IsBranch() != (c == ClassBranch || c == ClassTrap):
+			t.Errorf("%v: IsBranch=%v but class %v", op, op.IsBranch(), c)
+		case op.IsConditional() && c != ClassBranch:
+			t.Errorf("%v: conditional but class %v", op, c)
+		case op.IsIndirect() && c != ClassBranch:
+			t.Errorf("%v: indirect but class %v", op, c)
+		}
+		if (op.ALU() != nil) != (c == ClassALU) {
+			t.Errorf("%v: class %v but ALU() nil=%v", op, c, op.ALU() == nil)
+		}
+	}
+	fixed := map[Op]Class{
+		NOP: ClassNop, HALT: ClassHalt, CMP: ClassCmp,
+		LDR: ClassMem, STR: ClassMem, SVC: ClassTrap,
+	}
+	for op, want := range fixed {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", op, got, want)
+		}
+	}
+	if got := Op(200).Class(); got != ClassBranch {
+		t.Errorf("undefined op class = %v, want branch (block terminator)", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		ClassNop: "nop", ClassALU: "alu", ClassCmp: "cmp", ClassMem: "mem",
+		ClassBranch: "branch", ClassTrap: "trap", ClassHalt: "halt",
+		Class(99): "class(?)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+// TestEvalALU spot-checks the lowered data semantics the interpreter and
+// block engine share, including the hardware-style corners: shift amounts
+// mask to 5 bits, ASR sign-extends, MOV/MVN ignore the first operand.
+func TestEvalALU(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b    uint32
+		want    uint32
+		comment string
+	}{
+		{ADD, 7, 5, 12, "add"},
+		{SUB, 5, 7, 0xFFFFFFFE, "sub wraps"},
+		{AND, 0xF0F0, 0x0FF0, 0x00F0, "and"},
+		{ORR, 0xF000, 0x000F, 0xF00F, "orr"},
+		{EOR, 0xFF00, 0x0FF0, 0xF0F0, "eor"},
+		{LSL, 1, 4, 16, "lsl"},
+		{LSL, 1, 33, 2, "lsl masks shift to b&31"},
+		{LSR, 0x80000000, 31, 1, "lsr"},
+		{LSR, 0x80000000, 32, 0x80000000, "lsr masks shift to b&31"},
+		{ASR, 0x80000000, 4, 0xF8000000, "asr sign-extends"},
+		{ASR, 0x40000000, 4, 0x04000000, "asr of positive"},
+		{MUL, 7, 6, 42, "mul"},
+		{MOV, 0xDEAD, 42, 42, "mov ignores a"},
+		{MVN, 0xDEAD, 0, 0xFFFFFFFF, "mvn ignores a"},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%s: EvalALU(%v, %#x, %#x) = %#x, want %#x",
+				c.comment, c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCondTaken walks the full truth table of the conditional branches and
+// confirms every other op reports ok=false.
+func TestCondTaken(t *testing.T) {
+	cases := []struct {
+		op     Op
+		eq, lt bool
+		taken  bool
+	}{
+		{BEQ, true, false, true}, {BEQ, false, false, false},
+		{BNE, true, false, false}, {BNE, false, true, true},
+		{BLT, false, true, true}, {BLT, true, false, false},
+		{BGE, false, false, true}, {BGE, false, true, false},
+		{BGE, true, false, true},
+	}
+	for _, c := range cases {
+		taken, ok := CondTaken(c.op, c.eq, c.lt)
+		if !ok || taken != c.taken {
+			t.Errorf("CondTaken(%v, eq=%v, lt=%v) = (%v, %v), want (%v, true)",
+				c.op, c.eq, c.lt, taken, ok, c.taken)
+		}
+	}
+	for op := Op(0); op < numOps; op++ {
+		if op.IsConditional() {
+			continue
+		}
+		if _, ok := CondTaken(op, true, true); ok {
+			t.Errorf("CondTaken(%v) ok=true for non-conditional op", op)
+		}
+	}
+}
