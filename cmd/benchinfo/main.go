@@ -50,13 +50,15 @@ func main() {
 			os.Exit(1)
 		}
 		enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: true})
+		var encBuf []byte
 		var traceBytes int64
 		var taken int64
 		sink := cpu.SinkFunc(func(ev cpu.BranchEvent) int64 {
 			if ev.Taken {
 				taken++
 			}
-			traceBytes += int64(len(enc.Encode(ev)))
+			encBuf = enc.EncodeInto(encBuf[:0], ev)
+			traceBytes += int64(len(encBuf))
 			return 0
 		})
 		c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: sink})
@@ -148,6 +150,30 @@ func printBackendsBaseline(doc map[string]any) {
 			if v, ok := sp[k].(float64); ok {
 				fmt.Printf("  %-22s %6.2fx\n", k, v)
 			}
+		}
+	}
+	if fp, ok := doc["trace_fastpath_speedup"].(map[string]any); ok {
+		fmt.Printf("\ntrace fast path (BackendFig8Grid: fused analytic vs staged byte/word, same host):\n")
+		staged, _ := fp["staged_ns_per_op"].(map[string]any)
+		fused, _ := fp["fused_ns_per_op"].(map[string]any)
+		sp, _ := fp["speedup_vs_staged"].(map[string]any)
+		fmt.Printf("  %-18s %14s %14s %9s\n", "backend", "staged", "fused", "speedup")
+		for _, k := range sortedKeys(fused) {
+			s := "-"
+			if v, ok := sp[k].(float64); ok {
+				s = fmt.Sprintf("%.2fx", v)
+			}
+			fmt.Printf("  %-18s %s %s %9s\n", k,
+				numCell(staged, k, 14), numCell(fused, k, 14), s)
+		}
+		if prior, ok := fp["speedup_vs_prior_record"].(map[string]any); ok {
+			fmt.Printf("  vs prior committed grid record:")
+			for _, k := range sortedKeys(prior) {
+				if v, ok := prior[k].(float64); ok {
+					fmt.Printf("  %s %.2fx", k, v)
+				}
+			}
+			fmt.Println()
 		}
 	}
 	if cb, ok := doc["cpu_benchmarks"].(map[string]any); ok {

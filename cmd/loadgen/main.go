@@ -314,7 +314,7 @@ func captureTrace(p workload.Profile, instr int64) ([]byte, error) {
 	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: true})
 	var stream []byte
 	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: cpu.SinkFunc(func(ev cpu.BranchEvent) int64 {
-		stream = append(stream, enc.Encode(ev)...)
+		stream = enc.EncodeInto(stream, ev)
 		return 0
 	})})
 	if _, err := c.Run(instr); err != nil {

@@ -53,6 +53,7 @@ func main() {
 		queue        = flag.Int("queue", 16, "per-session chunk queue depth")
 		shed         = flag.Bool("shed", false, "shed chunks when a session queue is full instead of blocking the socket (lossy)")
 		gap          = flag.Int64("gap", 0, "default replay pacing in CPU cycles per branch event (0 = built-in default)")
+		stagedTrace  = flag.Bool("staged-trace", false, "run session trace delivery on the staged byte/word reference path instead of the fused fast path (judgments are bit-identical)")
 		readTimeout  = flag.Duration("read-timeout", time.Minute, "max gap between client frames")
 		writeTimeout = flag.Duration("write-timeout", time.Minute, "max duration of one response write")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions before force-closing")
@@ -88,6 +89,7 @@ func main() {
 		QueueDepth:   *queue,
 		Shed:         *shed,
 		GapCycles:    *gap,
+		StagedTrace:  *stagedTrace,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		BatchWindow:  *batchWindow,

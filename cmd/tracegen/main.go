@@ -46,7 +46,7 @@ func main() {
 	enc := ptm.NewEncoder(ptm.Config{BranchBroadcast: *broadcast})
 	var stream []byte
 	sink := cpu.SinkFunc(func(ev cpu.BranchEvent) int64 {
-		stream = append(stream, enc.Encode(ev)...)
+		stream = enc.EncodeInto(stream, ev)
 		return 0
 	})
 	c := cpu.New(prog, cpu.Config{Mode: cpu.ModeRTAD, Sink: sink})

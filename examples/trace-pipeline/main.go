@@ -33,10 +33,12 @@ func main() {
 	port := ptm.NewPort(ptm.PortConfig{DrainThreshold: 16})
 	fmt.Println("== PTM packetisation ==")
 	var lastAt sim.Time
+	var encBuf []byte
 	for _, ev := range events {
 		at := sim.CPUClock.Duration(ev.Cycle)
 		lastAt = at
-		bytes := enc.Encode(ev)
+		bytes := enc.EncodeInto(encBuf[:0], ev)
+		encBuf = bytes
 		fmt.Printf("  branch pc=%#06x -> %#010x taken=%-5v  %d bytes: % x\n",
 			ev.PC, ev.Target, ev.Taken, len(bytes), bytes)
 		port.Push(at, bytes)

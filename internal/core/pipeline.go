@@ -57,6 +57,15 @@ type PipelineConfig struct {
 	// Nil (the default) keeps the whole chain a no-op and the run's
 	// outputs bit-identical to an un-instrumented build.
 	Telemetry *obs.Telemetry
+	// StagedTrace selects the staged byte/word trace-delivery reference
+	// path: every PTM byte is materialised as a TimedByte, pushed through
+	// the TPIU formatter one call each, framed into TimedWords, deframed,
+	// and PTM-re-decoded by the IGM. The default (false) uses the fused
+	// fast path, which computes the identical delivery timestamps
+	// analytically from the encoder's packet boundaries and the port's
+	// release schedules — bit-identical judgments, stats, and stage
+	// snapshots (see DESIGN §13), at a fraction of the per-branch cost.
+	StagedTrace bool
 }
 
 // Default runtime strides.
@@ -118,7 +127,14 @@ type Pipeline struct {
 	ig     *igm.IGM
 	mod    *mcm.MCM
 
+	// acceptedRetire records the retirement time of each mapper-accepted
+	// taken branch; vectors index it by AcceptedIdx to recover FinalRetire.
+	// It is pruned behind retireBase: acceptedRetire[i] belongs to accepted
+	// ordinal retireBase+i+1, and ordinals at or below the highest consumed
+	// AcceptedIdx are compacted away (amortised), so capacity stays bounded
+	// by the stride gap instead of growing for the life of the session.
 	acceptedRetire []sim.Time
+	retireBase     int64
 	judged         []Judged
 	// pendIdx indexes the judged entries whose Rec.Pending is set: vectors
 	// the MCM has fully timed but not yet judged (deferred judgment). They
@@ -134,12 +150,35 @@ type Pipeline struct {
 	twScratch  []tpiu.TimedWord
 	vecScratch []igm.Vector
 
+	// Fused fast-path state (cfg.StagedTrace == false). The encoder reports
+	// packet boundaries as byte offsets; pend holds them (with the class
+	// resolved at retire time) until the frame carrying a packet's last
+	// byte emits, at which point the packet is handed straight to the IGM.
+	staged    bool
+	markBuf   []ptm.PacketMark
+	pend      []pendPkt
+	pendHd    int
+	encBase   int64 // trace bytes encoded so far (global stream offset)
+	fedBytes  int64 // payload bytes delivered to the IGM via emitted frames
+	feScratch []tpiu.FrameEmit
+
 	// Judgment telemetry lives here rather than in Session.deliver so the
 	// recording order follows the instruction stream, keeping trace output
 	// invariant to how callers slice Step().
 	latHist      *obs.Histogram
 	obsJudgments *obs.Counter
 	judgTrack    *obs.Track
+}
+
+// pendPkt is one encoded-but-undelivered trace packet on the fused fast
+// path: it completes at any decoder once the byte just before end has been
+// carried by an emitted frame.
+type pendPkt struct {
+	end      int64  // global stream offset just past the packet's last byte
+	addr     uint32 // decoded branch target (branch packets only)
+	class    int32  // mapper class, resolved once at retire time
+	branch   bool
+	accepted bool
 }
 
 // JudgmentLatencyBuckets are the histogram bounds for the Fig 8 latency, in
@@ -198,7 +237,8 @@ func NewPipeline(dep *Deployment, cfg PipelineConfig) (*Pipeline, error) {
 			Stride:    cfg.Stride,
 			Telemetry: cfg.Telemetry,
 		}),
-		mod: mod,
+		mod:    mod,
+		staged: cfg.StagedTrace,
 	}
 	if tel := cfg.Telemetry; tel != nil {
 		p.latHist = tel.Histogram("rtad_judgment_latency_us", JudgmentLatencyBuckets)
@@ -211,6 +251,40 @@ func NewPipeline(dep *Deployment, cfg PipelineConfig) (*Pipeline, error) {
 // BranchRetired implements cpu.Sink: it drives the whole CoreSight → IGM →
 // MCM path for one retired branch, advancing every stage's timing model.
 func (p *Pipeline) BranchRetired(ev cpu.BranchEvent) int64 {
+	if p.staged {
+		return p.branchRetiredStaged(ev)
+	}
+	at := sim.CPUClock.Duration(ev.Cycle)
+	// Single mapper lookup per taken branch: the class the IGM will need is
+	// resolved here (on the wire-decoded even address — the encoding drops
+	// bit 0) and threaded through the pending-packet queue.
+	var (
+		class    int32
+		accepted bool
+	)
+	if ev.Taken {
+		class, accepted = p.dep.Mapper.Lookup(ev.Target &^ 1)
+		if ev.Target&1 != 0 {
+			// Odd target: the retire-time record keys the raw address (the
+			// staged path's semantics), which may resolve differently from
+			// the wire-decoded one. Rare enough to afford a second lookup.
+			if _, ok := p.dep.Mapper.Lookup(ev.Target); ok {
+				p.acceptedRetire = append(p.acceptedRetire, at)
+			}
+		} else if accepted {
+			p.acceptedRetire = append(p.acceptedRetire, at)
+		}
+	}
+	p.encBuf, p.markBuf = p.enc.EncodeMarked(p.encBuf[:0], p.markBuf[:0], ev)
+	p.queueMarks(class, accepted)
+	rel, stall := p.port.PushCounted(at, len(p.encBuf))
+	p.feedRelease(rel)
+	p.drainVectors()
+	return sim.CPUClock.CyclesCeil(stall)
+}
+
+// branchRetiredStaged is the byte/word reference path (cfg.StagedTrace).
+func (p *Pipeline) branchRetiredStaged(ev cpu.BranchEvent) int64 {
 	at := sim.CPUClock.Duration(ev.Cycle)
 	if ev.Taken {
 		if _, ok := p.dep.Mapper.Lookup(ev.Target); ok {
@@ -223,10 +297,63 @@ func (p *Pipeline) BranchRetired(ev cpu.BranchEvent) int64 {
 	return sim.CPUClock.CyclesCeil(stall)
 }
 
-// drain moves whatever each stage has produced into the next stage. All
-// hand-offs go through the TakeInto scratch buffers, so in steady state —
-// in particular for every filtered or non-emitting branch — a drain pass
-// allocates nothing.
+// queueMarks appends the packets just encoded into encBuf to the pending
+// queue at their global stream offsets. class/accepted apply to the branch
+// packet the event may have produced (an event encodes at most one).
+func (p *Pipeline) queueMarks(class int32, accepted bool) {
+	for _, mk := range p.markBuf {
+		p.pend = append(p.pend, pendPkt{
+			end:      p.encBase + int64(mk.End),
+			addr:     mk.Addr,
+			class:    class,
+			branch:   mk.Branch,
+			accepted: accepted,
+		})
+	}
+	p.encBase += int64(len(p.encBuf))
+}
+
+// feedRelease advances the formatter by one port release schedule and
+// delivers every frame it completes.
+func (p *Pipeline) feedRelease(rel ptm.Release) {
+	if rel.Bytes == 0 {
+		return
+	}
+	p.feScratch = p.fmtr.PushCounted(rel.Start, rel.Step, rel.Group, rel.Bytes, p.feScratch[:0])
+	for _, fe := range p.feScratch {
+		p.deliverFrame(fe)
+	}
+}
+
+// deliverFrame hands every packet completed by one emitted frame to the
+// IGM. Frames emit in stream order, so each pending packet is delivered by
+// the frame carrying its last byte and shares that frame's TA decode time —
+// exactly the staged Deframer/StreamDecoder behaviour.
+func (p *Pipeline) deliverFrame(fe tpiu.FrameEmit) {
+	decodeAt := p.ig.FrameArrived(fe.LastWordAt)
+	p.fedBytes += int64(fe.Payload)
+	for p.pendHd < len(p.pend) && p.pend[p.pendHd].end <= p.fedBytes {
+		pk := p.pend[p.pendHd]
+		p.pendHd++
+		if pk.branch {
+			p.ig.BranchDecoded(decodeAt, pk.addr, pk.class, pk.accepted)
+		} else {
+			p.ig.PacketDecoded()
+		}
+	}
+	// Amortised compaction of the consumed prefix keeps pend bounded by the
+	// drain threshold's worth of in-flight packets.
+	if p.pendHd >= 64 && p.pendHd*2 >= len(p.pend) {
+		n := copy(p.pend, p.pend[p.pendHd:])
+		p.pend = p.pend[:n]
+		p.pendHd = 0
+	}
+}
+
+// drain moves whatever each stage has produced into the next stage (staged
+// path). All hand-offs go through the TakeInto scratch buffers, so in
+// steady state — in particular for every filtered or non-emitting branch —
+// a drain pass allocates nothing.
 func (p *Pipeline) drain() {
 	p.tbScratch = p.port.TakeInto(p.tbScratch[:0])
 	for _, tb := range p.tbScratch {
@@ -236,6 +363,12 @@ func (p *Pipeline) drain() {
 	for _, w := range p.twScratch {
 		p.ig.FeedWord(w)
 	}
+	p.drainVectors()
+}
+
+// drainVectors moves completed vectors into the MCM and records judgments;
+// it is the shared tail of both trace paths.
+func (p *Pipeline) drainVectors() {
 	p.vecScratch = p.ig.TakeInto(p.vecScratch[:0])
 	for _, v := range p.vecScratch {
 		rec, ok, err := p.mod.Push(v)
@@ -244,19 +377,22 @@ func (p *Pipeline) drain() {
 				p.err = err
 			}
 			p.ig.Recycle(v.Classes)
+			p.pruneRetire(v.AcceptedIdx)
 			continue
 		}
 		if !ok {
 			// Dropped at the MCM FIFO: the vector dies here, so its pooled
 			// window goes back to the IGM.
 			p.ig.Recycle(v.Classes)
+			p.pruneRetire(v.AcceptedIdx)
 			continue
 		}
-		idx := v.AcceptedIdx - 1
+		idx := v.AcceptedIdx - 1 - p.retireBase
 		var retire sim.Time
 		if idx >= 0 && idx < int64(len(p.acceptedRetire)) {
 			retire = p.acceptedRetire[idx]
 		}
+		p.pruneRetire(v.AcceptedIdx)
 		// Judged retains the vector (and its Classes buffer), so it is not
 		// recycled — ownership transfers to the judgment record.
 		j := Judged{Vector: v, Rec: rec, FinalRetire: retire}
@@ -279,18 +415,54 @@ func (p *Pipeline) drain() {
 	}
 }
 
+// pruneRetire discards acceptedRetire entries for accepted ordinals at or
+// below consumed. AcceptedIdx is strictly increasing across vectors, so a
+// consumed ordinal is never read again — including ordinals that never
+// produced a vector (stride skips) or whose vector the MCM dropped.
+// Compaction is amortised: it runs only when the dead prefix is both large
+// and the majority of the slice, bounding per-branch cost at O(1) and the
+// slice length at roughly twice the live window.
+func (p *Pipeline) pruneRetire(consumed int64) {
+	dead := consumed - p.retireBase
+	if dead > int64(len(p.acceptedRetire)) {
+		dead = int64(len(p.acceptedRetire))
+	}
+	if dead < 1024 || dead*2 < int64(len(p.acceptedRetire)) {
+		return
+	}
+	n := copy(p.acceptedRetire, p.acceptedRetire[dead:])
+	p.acceptedRetire = p.acceptedRetire[:n]
+	p.retireBase += dead
+}
+
 // Flush pushes out any residual trace data at time at (end of a window).
 func (p *Pipeline) Flush(at sim.Time) {
-	p.encBuf = p.enc.FlushInto(p.encBuf[:0])
-	p.port.Push(at, p.encBuf)
-	p.port.Flush(at)
-	p.drain()
-	p.fmtr.Flush(at)
-	p.twScratch = p.fmtr.TakeInto(p.twScratch[:0])
-	for _, w := range p.twScratch {
-		p.ig.FeedWord(w)
+	if p.staged {
+		p.encBuf = p.enc.FlushInto(p.encBuf[:0])
+		p.port.Push(at, p.encBuf)
+		p.port.Flush(at)
+		p.drain()
+		p.fmtr.Flush(at)
+		p.twScratch = p.fmtr.TakeInto(p.twScratch[:0])
+		for _, w := range p.twScratch {
+			p.ig.FeedWord(w)
+		}
+		p.drain()
+		return
 	}
-	p.drain()
+	p.encBuf, p.markBuf = p.enc.FlushMarked(p.encBuf[:0], p.markBuf[:0])
+	p.queueMarks(0, false)
+	rel, _ := p.port.PushCounted(at, len(p.encBuf))
+	p.feedRelease(rel)
+	p.feedRelease(p.port.FlushCounted(at))
+	// Drain at the same two points as the staged Flush (after the port
+	// flush, and again after the formatter flush) so the IGM out-queue's
+	// high-water mark groups vectors identically.
+	p.drainVectors()
+	if fe, ok := p.fmtr.FlushCounted(at); ok {
+		p.deliverFrame(fe)
+	}
+	p.drainVectors()
 }
 
 // SettleJudgments resolves every deferred judgment in one fused engine

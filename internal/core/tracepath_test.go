@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rtad/internal/cpu"
+	"rtad/internal/kernels"
+	"rtad/internal/sim"
+	"rtad/internal/workload"
+)
+
+// Shared fixtures for the trace-path differential suite: training is the
+// expensive part, so both deployments and the calibration table are built
+// once per process and reused by every grid cell and fuzz iteration.
+var (
+	tpOnce  sync.Once
+	tpELM   *Deployment
+	tpLSTM  *Deployment
+	tpCalib *kernels.Calibration
+	tpErr   error
+)
+
+func tracePathFixtures(t testing.TB) (elm, lstm *Deployment, calib *kernels.Calibration) {
+	t.Helper()
+	tpOnce.Do(func() {
+		build := func(bench string, kind ModelKind, instr int64) (*Deployment, error) {
+			p, ok := workload.ByName(bench)
+			if !ok {
+				return nil, fmt.Errorf("unknown benchmark %s", bench)
+			}
+			cfg := DefaultTrainConfig(p, kind)
+			cfg.TrainInstr = instr
+			return Train(cfg)
+		}
+		tpELM, tpErr = build("400.perlbench", ModelELM, 12_000_000)
+		if tpErr == nil {
+			tpLSTM, tpErr = build("458.sjeng", ModelLSTM, 1_200_000)
+		}
+		tpCalib = kernels.NewCalibration()
+	})
+	if tpErr != nil {
+		t.Fatal(tpErr)
+	}
+	return tpELM, tpLSTM, tpCalib
+}
+
+// runTracePathDiff replays one synthesized branch/flush op stream through a
+// staged-reference pipeline and a fused fast-path pipeline in lockstep and
+// fails on any observable divergence: per-event backpressure stalls, the
+// full judged stream (vector timestamps, windows, MCM records, retirement
+// anchors), stage statistics, and end-of-run stage snapshots.
+//
+// Each op byte encodes one action from the event vocabulary the encoder
+// distinguishes: mapped/unmapped direct branches (address packets under
+// branch-broadcast), not-taken waypoints (atoms), syscalls (exception
+// packets), odd-bit targets (the wire drops address bit 0), and pipeline
+// flushes; the top bits jitter the inter-event cycle gap.
+func runTracePathDiff(t *testing.T, dep *Deployment, calib *kernels.Calibration, stride, threshold int, ops []byte) {
+	t.Helper()
+	build := func(stagedMode bool) *Pipeline {
+		p, err := NewPipeline(dep, PipelineConfig{
+			CUs: 5, Stride: stride, DrainThreshold: threshold,
+			Backend: kernels.BackendNativeCalibrated, Calibration: calib,
+			StagedTrace: stagedMode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	sp, fp := build(true), build(false)
+	addrs := dep.Mapper.Entries()
+	var cycle int64
+	for i, b := range ops {
+		cycle += int64(3 + b>>5)
+		op := b & 7
+		var ev cpu.BranchEvent
+		switch {
+		case op == 6:
+			at := sim.CPUClock.Duration(cycle)
+			sp.Flush(at)
+			fp.Flush(at)
+			continue
+		case op == 7 && len(addrs) > 0:
+			ev = cpu.BranchEvent{PC: 0x8000, Target: addrs[int(b>>3)%len(addrs)].Addr | 1,
+				Kind: cpu.KindIndirect, Taken: true, Cycle: cycle}
+		case op == 5:
+			ev = cpu.BranchEvent{PC: 0x8000, Target: cpu.SyscallTarget(int32(b>>3) & 15),
+				Kind: cpu.KindSyscall, Taken: true, Cycle: cycle}
+		case op == 4:
+			ev = cpu.BranchEvent{PC: 0x8000, Target: 0x9000, Kind: cpu.KindDirect, Cycle: cycle}
+		case op == 3 || len(addrs) == 0:
+			ev = cpu.BranchEvent{PC: 0x8000, Target: 0xDEAD0000 | uint32(b)<<4,
+				Kind: cpu.KindDirect, Taken: true, Cycle: cycle}
+		default:
+			ev = cpu.BranchEvent{PC: 0x8000, Target: addrs[int(b>>3)%len(addrs)].Addr,
+				Kind: cpu.KindDirect, Taken: true, Cycle: cycle}
+		}
+		s1 := sp.BranchRetired(ev)
+		s2 := fp.BranchRetired(ev)
+		if s1 != s2 {
+			t.Fatalf("op %d: backpressure stall diverged: staged=%d fused=%d", i, s1, s2)
+		}
+		cycle += s1
+	}
+	at := sim.CPUClock.Duration(cycle + 64)
+	sp.Flush(at)
+	fp.Flush(at)
+	sp.SettleJudgments()
+	fp.SettleJudgments()
+	comparePipelines(t, sp, fp)
+}
+
+// comparePipelines asserts full observable equality between the staged
+// reference and the fused fast path.
+func comparePipelines(t *testing.T, sp, fp *Pipeline) {
+	t.Helper()
+	if (sp.Err() == nil) != (fp.Err() == nil) {
+		t.Fatalf("error divergence: staged=%v fused=%v", sp.Err(), fp.Err())
+	}
+	sj, fj := sp.Judged(), fp.Judged()
+	if len(sj) != len(fj) {
+		t.Fatalf("judged count diverged: staged=%d fused=%d", len(sj), len(fj))
+	}
+	for i := range sj {
+		a, b := sj[i], fj[i]
+		if a.Rec != b.Rec {
+			t.Fatalf("judged[%d] record diverged:\nstaged %+v\nfused  %+v", i, a.Rec, b.Rec)
+		}
+		if a.FinalRetire != b.FinalRetire {
+			t.Fatalf("judged[%d] FinalRetire diverged: staged=%d fused=%d", i, a.FinalRetire, b.FinalRetire)
+		}
+		av, bv := a.Vector, b.Vector
+		if av.At != bv.At || av.Seq != bv.Seq || av.AcceptedIdx != bv.AcceptedIdx || av.Addr != bv.Addr {
+			t.Fatalf("judged[%d] vector diverged:\nstaged %+v\nfused  %+v", i, av, bv)
+		}
+		if len(av.Classes) != len(bv.Classes) {
+			t.Fatalf("judged[%d] window length diverged: %d vs %d", i, len(av.Classes), len(bv.Classes))
+		}
+		for k := range av.Classes {
+			if av.Classes[k] != bv.Classes[k] {
+				t.Fatalf("judged[%d] window[%d] diverged: %d vs %d", i, k, av.Classes[k], bv.Classes[k])
+			}
+		}
+	}
+	if s, f := sp.IGMStats(), fp.IGMStats(); s != f {
+		t.Fatalf("IGM stats diverged:\nstaged %+v\nfused  %+v", s, f)
+	}
+	if s, f := sp.MCMStats(), fp.MCMStats(); s != f {
+		t.Fatalf("MCM stats diverged:\nstaged %+v\nfused  %+v", s, f)
+	}
+	ss, fs := SnapshotStages(sp.Stages()), SnapshotStages(fp.Stages())
+	for i := range ss {
+		if ss[i] != fs[i] {
+			t.Fatalf("stage %q snapshot diverged:\nstaged %+v\nfused  %+v", ss[i].Name, ss[i], fs[i])
+		}
+	}
+}
+
+// TestTracePathEquivalenceGrid is the deterministic flush-order/chunk-shape
+// property check: for both deployments, every DrainThreshold in {1, 64,
+// 256}, and both sparse and dense strides, a fixed pseudo-random op stream
+// (including mid-stream flushes, filtered targets, atoms, syscalls, and
+// odd-bit addresses) must drive the fused path to bit-identical output.
+func TestTracePathEquivalenceGrid(t *testing.T) {
+	elm, lstm, calib := tracePathFixtures(t)
+	ops := make([]byte, 6000)
+	x := uint32(0x2545F491)
+	for i := range ops {
+		// xorshift: deterministic, full byte coverage.
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		ops[i] = byte(x)
+	}
+	for _, tc := range []struct {
+		name   string
+		dep    *Deployment
+		stride int
+	}{
+		{"elm-stride1", elm, 1},
+		{"lstm-stride7", lstm, 7},
+		{"lstm-stride256", lstm, 256},
+	} {
+		for _, threshold := range []int{1, 64, 256} {
+			tc, threshold := tc, threshold
+			t.Run(fmt.Sprintf("%s-thresh%d", tc.name, threshold), func(t *testing.T) {
+				runTracePathDiff(t, tc.dep, calib, tc.stride, threshold, ops)
+			})
+		}
+	}
+}
+
+// FuzzTracePathDifferential fuzzes the staged-vs-fused equivalence over
+// random op streams and configuration draws. The committed corpus under
+// testdata/fuzz covers the structural edge cases (threshold-1 ports, frame
+// boundaries straddling packets, flush storms, odd addresses); `go test`
+// replays it on every CI run.
+func FuzzTracePathDifferential(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 9, 17, 33, 4, 6, 2})
+	f.Add([]byte{1, 1, 1, 255, 254, 253, 6, 6, 6, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 2, 2, 5, 13, 21, 29, 37, 45, 53, 61, 69, 77, 85, 93, 101})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		elm, lstm, calib := tracePathFixtures(t)
+		dep := lstm
+		if data[0]&1 == 0 {
+			dep = elm
+		}
+		strides := [...]int{1, 7, 256, 3840}
+		thresholds := [...]int{1, 64, 256}
+		stride := strides[int(data[1])%len(strides)]
+		threshold := thresholds[int(data[2])%len(thresholds)]
+		ops := data[3:]
+		if len(ops) > 1<<16 {
+			ops = ops[:1<<16]
+		}
+		runTracePathDiff(t, dep, calib, stride, threshold, ops)
+	})
+}
+
+// TestAcceptedRetireBounded is the long-run pruning check: a pipeline that
+// streams accepted branches forever must not grow the retirement-anchor
+// slice without bound (it previously kept one entry per accepted branch for
+// the life of the pipeline). FinalRetire integrity is pinned two ways: the
+// staged and fused paths must agree entry for entry here, and the
+// experiments-JSON byte-identity suite pins both against the pre-pruning
+// recorded judgment streams.
+func TestAcceptedRetireBounded(t *testing.T) {
+	elm, _, calib := tracePathFixtures(t)
+	build := func(stagedMode bool) *Pipeline {
+		p, err := NewPipeline(elm, PipelineConfig{
+			CUs: 5, Backend: kernels.BackendNativeCalibrated, Calibration: calib,
+			StagedTrace: stagedMode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	sp, fp := build(true), build(false)
+	const branches = 300_000
+	var cycle int64
+	for i := 0; i < branches; i++ {
+		cycle += 40
+		ev := cpu.BranchEvent{PC: 0x8000, Target: cpu.SyscallTarget(int32(i) & 15),
+			Kind: cpu.KindSyscall, Taken: true, Cycle: cycle}
+		cycle += sp.BranchRetired(ev)
+		fp.BranchRetired(ev)
+	}
+	at := sim.CPUClock.Duration(cycle + 64)
+	sp.Flush(at)
+	fp.Flush(at)
+	sp.SettleJudgments()
+	fp.SettleJudgments()
+	if fp.IGMStats().Accepted < branches/2 {
+		t.Fatalf("only %d accepted branches — the path under test did not run", fp.IGMStats().Accepted)
+	}
+	// The pruned ring must stay small relative to the accepted stream: the
+	// live window is the stride gap plus compaction slack, far below the
+	// 300k entries the unbounded slice would hold.
+	if got := len(fp.acceptedRetire); got > 16384 {
+		t.Fatalf("acceptedRetire holds %d entries after %d branches — pruning is not engaging", got, branches)
+	}
+	if fp.retireBase == 0 {
+		t.Fatal("retireBase never advanced — pruning is not engaging")
+	}
+	comparePipelines(t, sp, fp)
+}

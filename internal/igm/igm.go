@@ -28,34 +28,94 @@ const MaxMapEntries = 1024
 // space, above any branch-address classes.
 const syscallClassBase = MaxMapEntries
 
+// mapSlots is the initial open-addressed table size: the next power of two
+// with load factor <= 0.5 at the full 1024-entry CAM capacity, so linear
+// probes stay short and termination is guaranteed.
+const mapSlots = 2048
+
 // AddressMap is the IGM lookup table: branch target address -> class ID.
 // Users configure it with the branches their model cares about — system
 // calls, critical API entry points, or (for general-branch models like the
 // LSTM) the frequent branch targets of the monitored program.
+//
+// The table is a flat open-addressed array (multiplicative hash, linear
+// probing) rather than a Go map: Lookup sits on the per-taken-branch hot
+// path and the CAM it models is a fixed 1024-entry structure, so two
+// parallel arrays beat the map's hashing and bucket indirection.
 type AddressMap struct {
-	classes  map[uint32]int32
+	addrs    []uint32 // probed keys; meaningful only where slots[i] != 0
+	slots    []int32  // class ID + 1; 0 marks an empty slot (so addr 0 is storable)
+	shift    uint     // 32 - log2(len(slots)): multiplicative hash keeps the top bits
+	count    int
 	next     int32
 	syscalls bool
 }
 
 // NewAddressMap returns an empty table.
 func NewAddressMap() *AddressMap {
-	return &AddressMap{classes: make(map[uint32]int32)}
+	return &AddressMap{
+		addrs: make([]uint32, mapSlots),
+		slots: make([]int32, mapSlots),
+		shift: 21,
+	}
+}
+
+// find probes for addr, returning the index of its slot (occupied with
+// addr) or of the empty slot where it would be inserted.
+func (m *AddressMap) find(addr uint32) int {
+	mask := len(m.slots) - 1
+	i := int((addr * 2654435761) >> m.shift)
+	for m.slots[i] != 0 && m.addrs[i] != addr {
+		i = (i + 1) & mask
+	}
+	return i
+}
+
+// insert places class at slot i (which find located for addr), growing the
+// table when the load factor would exceed 1/2.
+func (m *AddressMap) insert(i int, addr uint32, class int32) {
+	m.addrs[i] = addr
+	m.slots[i] = class + 1
+	m.count++
+	if m.count*2 > len(m.slots) {
+		m.grow()
+	}
+}
+
+// grow doubles the table and rehashes every entry. With Add capped at
+// MaxMapEntries this never fires for the hardware CAM; it only serves
+// NewAddressMapFromEntries round-tripping an oversized synthetic table.
+func (m *AddressMap) grow() {
+	oldAddrs, oldSlots := m.addrs, m.slots
+	n := len(oldSlots) * 2
+	m.addrs = make([]uint32, n)
+	m.slots = make([]int32, n)
+	m.shift--
+	m.count = 0
+	for i, s := range oldSlots {
+		if s != 0 {
+			j := m.find(oldAddrs[i])
+			m.addrs[j] = oldAddrs[i]
+			m.slots[j] = s
+			m.count++
+		}
+	}
 }
 
 // Add registers addr and returns its class ID; re-adding returns the
 // existing ID. It panics when the CAM capacity is exceeded — a static
 // configuration error, not a runtime condition.
 func (m *AddressMap) Add(addr uint32) int32 {
-	if id, ok := m.classes[addr]; ok {
-		return id
+	i := m.find(addr)
+	if s := m.slots[i]; s != 0 {
+		return s - 1
 	}
-	if len(m.classes) >= MaxMapEntries {
+	if m.count >= MaxMapEntries {
 		panic(fmt.Sprintf("igm: address map exceeds %d entries", MaxMapEntries))
 	}
 	id := m.next
 	m.next++
-	m.classes[addr] = id
+	m.insert(i, addr, id)
 	return id
 }
 
@@ -68,8 +128,10 @@ func (m *AddressMap) Lookup(addr uint32) (int32, bool) {
 	if m.syscalls && addr >= cpu.SyscallBase {
 		return int32(syscallClassBase) + cpu.SyscallNumber(addr), true
 	}
-	id, ok := m.classes[addr]
-	return id, ok
+	if s := m.slots[m.find(addr)]; s != 0 {
+		return s - 1, true
+	}
+	return 0, false
 }
 
 // SyscallClass converts a service number to its class ID, for callers
@@ -77,7 +139,7 @@ func (m *AddressMap) Lookup(addr uint32) (int32, bool) {
 func SyscallClass(n int32) int32 { return int32(syscallClassBase) + n }
 
 // Size reports configured branch entries (excluding the syscall range).
-func (m *AddressMap) Size() int { return len(m.classes) }
+func (m *AddressMap) Size() int { return m.count }
 
 // Vector is one generated ML input: the sliding window of the most recent
 // accepted class IDs (oldest first), stamped with the time the vector
@@ -217,31 +279,47 @@ func (g *IGM) FeedWord(w tpiu.TimedWord) {
 }
 
 // acceptBranch runs one decoded address through P2S, the mapper and the
-// vector encoder.
+// vector encoder (staged path: the class is looked up here).
 func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
-	// P2S: one address per cycle leaves the converter.
-	at := decodeAt
-	if g.serFreeAt > at {
-		at = g.serFreeAt
-	}
-	g.serFreeAt = at + g.cfg.Clock.Period()
-
+	at := g.p2s(decodeAt)
 	class, ok := g.cfg.Mapper.Lookup(addr)
 	if !ok {
 		g.stats.Filtered++
 		g.obsFiltered.Inc()
 		return
 	}
+	g.admit(at, addr, class)
+}
+
+// p2s serialises one decoded address out of the parallel-to-serial
+// converter: one address per cycle leaves it.
+func (g *IGM) p2s(decodeAt sim.Time) sim.Time {
+	at := decodeAt
+	if g.serFreeAt > at {
+		at = g.serFreeAt
+	}
+	g.serFreeAt = at + g.cfg.Clock.Period()
+	return at
+}
+
+// admit runs a mapper-accepted class through the vector-encoder stage:
+// window update, stride pacing, and vector emission.
+func (g *IGM) admit(at sim.Time, addr uint32, class int32) {
 	g.stats.Accepted++
 	g.obsAccepted.Inc()
 	at += g.cfg.Clock.Duration(mapperCycles + vecEncodeCycles)
 
 	if g.winN < g.cfg.Window {
-		g.win[(g.winHd+g.winN)%g.cfg.Window] = class
+		// Fill phase: winHd stays 0 until the window first fills, so the
+		// write lands at the plain winN offset.
+		g.win[g.winN] = class
 		g.winN++
 	} else {
 		g.win[g.winHd] = class
-		g.winHd = (g.winHd + 1) % g.cfg.Window
+		g.winHd++
+		if g.winHd == g.cfg.Window {
+			g.winHd = 0
+		}
 	}
 	if g.winN < g.cfg.Window {
 		return
@@ -252,9 +330,9 @@ func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
 	}
 	g.sinceEmit = 0
 	classes := g.classBuf()
-	for i := range classes {
-		classes[i] = g.win[(g.winHd+i)%g.cfg.Window]
-	}
+	// Oldest-first snapshot: the ring's tail segment then its head segment.
+	n := copy(classes, g.win[g.winHd:])
+	copy(classes[n:], g.win[:g.winHd])
 	vec := Vector{
 		At: at, Seq: g.seq, AcceptedIdx: g.stats.Accepted,
 		Addr: addr, Classes: classes,
@@ -269,6 +347,40 @@ func (g *IGM) acceptBranch(decodeAt sim.Time, addr uint32) {
 	if len(g.out) > g.maxOut {
 		g.maxOut = len(g.out)
 	}
+}
+
+// FrameArrived accounts one fused-fast-path frame delivery: the four port
+// words of a frame whose last word lands at lastWordAt. It returns the
+// instant the frame's payload finishes TA decode — the decode timestamp
+// shared by every packet the frame completes, exactly as FeedWord computes
+// it for the frame's final word.
+func (g *IGM) FrameArrived(lastWordAt sim.Time) sim.Time {
+	g.stats.Words += tpiu.FrameBytes / 4
+	return lastWordAt + g.cfg.Clock.Duration(taDecodeCycles)
+}
+
+// PacketDecoded accounts one non-branch packet (a-sync, i-sync, atoms, ...)
+// completed by a fused-path frame: only the decoded-packet count advances,
+// as in the staged decoder.
+func (g *IGM) PacketDecoded() { g.stats.Packets++ }
+
+// BranchDecoded is the fused fast path's direct entry point for one
+// branch-address packet completing at decodeAt. The mapper lookup has
+// already happened upstream — the fast path resolves each taken branch's
+// class once and threads it through — so the IGM only applies the P2S and
+// (for accepted addresses) mapper/encoder latencies. Stats, telemetry, and
+// emitted vectors are bit-identical to the staged decode of the same
+// packet stream.
+func (g *IGM) BranchDecoded(decodeAt sim.Time, addr uint32, class int32, accepted bool) {
+	g.stats.Packets++
+	g.stats.Branches++
+	at := g.p2s(decodeAt)
+	if !accepted {
+		g.stats.Filtered++
+		g.obsFiltered.Inc()
+		return
+	}
+	g.admit(at, addr, class)
 }
 
 // StageName identifies the IGM in pipeline stage listings.
@@ -339,9 +451,11 @@ type Entry struct {
 // Entries exports the table contents (branch rows only; the syscall range
 // is a flag, not rows), sorted by class for determinism.
 func (m *AddressMap) Entries() []Entry {
-	out := make([]Entry, 0, len(m.classes))
-	for addr, class := range m.classes {
-		out = append(out, Entry{Addr: addr, Class: class})
+	out := make([]Entry, 0, m.count)
+	for i, s := range m.slots {
+		if s != 0 {
+			out = append(out, Entry{Addr: m.addrs[i], Class: s - 1})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
 	return out
@@ -351,12 +465,17 @@ func (m *AddressMap) Entries() []Entry {
 func (m *AddressMap) HasSyscalls() bool { return m.syscalls }
 
 // NewAddressMapFromEntries reconstructs a table from exported rows,
-// preserving the original class IDs.
+// preserving the original class IDs (later duplicates of an address win,
+// as with the previous map-backed table).
 func NewAddressMapFromEntries(entries []Entry, syscalls bool) *AddressMap {
 	m := NewAddressMap()
 	m.syscalls = syscalls
 	for _, e := range entries {
-		m.classes[e.Addr] = e.Class
+		if i := m.find(e.Addr); m.slots[i] != 0 {
+			m.slots[i] = e.Class + 1
+		} else {
+			m.insert(i, e.Addr, e.Class)
+		}
 		if e.Class >= m.next {
 			m.next = e.Class + 1
 		}

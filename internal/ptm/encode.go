@@ -34,6 +34,39 @@ type Encoder struct {
 	atomBuf    []bool
 	sinceSync  int
 	syncs      int64
+
+	// markBuf collects a PacketMark per completed packet while marking is
+	// set (only during EncodeMarked/FlushMarked; the slice is held by value
+	// so mark collection never forces a caller slice header to escape).
+	markBuf []PacketMark
+	marking bool
+}
+
+// PacketMark records one completed packet in the encoded byte stream: the
+// offset just past its last byte (the byte whose arrival completes the
+// packet at any conforming decoder) and, for branch-address packets, the
+// address a decoder reconstructs. The fused trace-delivery fast path uses
+// marks to skip re-decoding the stream the encoder just produced: packet
+// boundaries plus the staged path's timing algebra determine exactly when
+// each packet becomes visible to the IGM.
+type PacketMark struct {
+	// End is the offset just past the packet's last byte, within the slice
+	// returned by the marked encode call.
+	End int
+	// Branch reports a branch-address packet — the only packet type the
+	// IGM acts on; every other mark only advances the decode-packet count.
+	Branch bool
+	// Addr is the reconstructed branch target for Branch marks: the event
+	// target with bit 0 dropped, exactly as the on-wire addr>>1 encoding
+	// round-trips it.
+	Addr uint32
+}
+
+// mark records one completed packet when mark collection is enabled.
+func (e *Encoder) mark(end int, branch bool, addr uint32) {
+	if e.marking {
+		e.markBuf = append(e.markBuf, PacketMark{End: end, Branch: branch, Addr: addr})
+	}
 }
 
 // Syncs reports how many a-sync/i-sync pairs the encoder has emitted
@@ -64,7 +97,8 @@ func appendISync(dst []byte, addr uint32, info byte) []byte {
 }
 
 // flushAtoms drains the pending atom buffer into dst, preserving program
-// order ahead of any subsequent address packet.
+// order ahead of any subsequent address packet. Each emitted atom byte is
+// one complete packet at the decoder.
 func (e *Encoder) flushAtoms(dst []byte) []byte {
 	for len(e.atomBuf) > 0 {
 		n := len(e.atomBuf)
@@ -78,6 +112,7 @@ func (e *Encoder) flushAtoms(dst []byte) []byte {
 			}
 		}
 		dst = append(dst, b)
+		e.mark(len(dst), false, 0)
 		e.atomBuf = e.atomBuf[:copy(e.atomBuf, e.atomBuf[n:])]
 	}
 	return dst
@@ -118,6 +153,7 @@ func (e *Encoder) appendBranch(dst []byte, addr uint32, exc bool, kind cpu.Kind)
 	}
 	e.lastChunks = chunks
 	e.havePrev = true
+	e.mark(len(dst), true, addr&^1)
 	return dst
 }
 
@@ -133,7 +169,10 @@ func (e *Encoder) StartInto(dst []byte, addr uint32) []byte {
 	e.sinceSync = 0
 	e.syncs++
 	dst = appendASync(dst)
-	return appendISync(dst, addr, 0)
+	e.mark(len(dst), false, 0)
+	dst = appendISync(dst, addr, 0)
+	e.mark(len(dst), false, 0)
+	return dst
 }
 
 // Overflow emits the marker the PTM inserts after its internal FIFO dropped
@@ -154,6 +193,11 @@ func (e *Encoder) Timestamp(cycles uint32) []byte {
 // Encode packetises one retired-branch event. The returned slice is freshly
 // allocated only when non-empty; not-taken branches usually just buffer an
 // atom bit and return nil until the atom byte fills.
+//
+// Deprecated: use EncodeInto with a recycled buffer
+// (`buf = enc.EncodeInto(buf[:0], ev)`) — it is the hot-path form and
+// encodes every event with zero steady-state allocations. CI rejects new
+// in-repo Encode callers.
 func (e *Encoder) Encode(ev cpu.BranchEvent) []byte { return e.EncodeInto(nil, ev) }
 
 // EncodeInto packetises one retired-branch event into dst (appending) and
@@ -178,7 +222,9 @@ func (e *Encoder) EncodeInto(dst []byte, ev cpu.BranchEvent) []byte {
 			e.sinceSync = 0
 			e.syncs++
 			dst = appendASync(dst)
+			e.mark(len(dst), false, 0)
 			dst = appendISync(dst, ev.Target, 0)
+			e.mark(len(dst), false, 0)
 			e.havePrev = false
 		}
 	default:
@@ -197,3 +243,23 @@ func (e *Encoder) Flush() []byte { return e.flushAtoms(nil) }
 // FlushInto is the allocation-free form of Flush: buffered atoms append to
 // dst and the extended slice is returned.
 func (e *Encoder) FlushInto(dst []byte) []byte { return e.flushAtoms(dst) }
+
+// EncodeMarked is EncodeInto with packet-boundary reporting: every packet
+// completed by this event appends a PacketMark to marks (offsets are into
+// the returned byte slice). A caller recycling both slices encodes with
+// zero steady-state allocations. The byte stream is byte-identical to
+// EncodeInto's — marks are bookkeeping, not wire data.
+func (e *Encoder) EncodeMarked(dst []byte, marks []PacketMark, ev cpu.BranchEvent) ([]byte, []PacketMark) {
+	e.markBuf, e.marking = marks, true
+	dst = e.EncodeInto(dst, ev)
+	marks, e.markBuf, e.marking = e.markBuf, nil, false
+	return dst, marks
+}
+
+// FlushMarked is FlushInto with packet-boundary reporting (see EncodeMarked).
+func (e *Encoder) FlushMarked(dst []byte, marks []PacketMark) ([]byte, []PacketMark) {
+	e.markBuf, e.marking = marks, true
+	dst = e.flushAtoms(dst)
+	marks, e.markBuf, e.marking = e.markBuf, nil, false
+	return dst, marks
+}

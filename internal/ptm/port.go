@@ -65,9 +65,18 @@ func (c PortConfig) withDefaults() PortConfig {
 // buffered until the drain threshold is reached, then released onto the
 // port at the configured width, one beat per fabric cycle. Released bytes
 // appear on the Out slice with their departure times.
+//
+// The port runs in one of two modes, chosen by which Push family the
+// caller uses. The staged mode (Push/Flush/TakeInto) materialises every
+// released byte as a TimedByte. The counted fast-path mode
+// (PushCounted/FlushCounted) keeps only occupancy and the departure
+// horizon, and describes each release as an arithmetic-progression
+// schedule (Release) instead — same timing algebra, no per-byte values.
+// One port instance must stay in one mode.
 type Port struct {
 	cfg    PortConfig
 	buf    []byte
+	occ    int      // counted-mode occupancy (staged mode uses len(buf))
 	freeAt sim.Time // next fabric instant the port can emit a beat
 	// Out accumulates released bytes; callers consume it with Take.
 	out []TimedByte
@@ -82,6 +91,22 @@ type Port struct {
 	track       *obs.Track
 }
 
+// Release describes one drain burst's departure schedule on the fused fast
+// path: Bytes leave in groups of Group per beat, beats Step apart, starting
+// at Start. Byte j of the release therefore departs at Start + (j/Group)*Step
+// — exactly the arithmetic progression the staged path materialises as
+// TimedBytes. A zero Release (Bytes == 0) means the push did not cross the
+// drain threshold.
+type Release struct {
+	Start sim.Time
+	Bytes int
+	Group int
+	Step  sim.Time
+}
+
+// ByteAt is the departure instant of the release's j-th byte (0-based).
+func (r Release) ByteAt(j int) sim.Time { return r.Start + sim.Time(j/r.Group)*r.Step }
+
 // NewPort returns a port with cfg applied (zero fields take defaults).
 func NewPort(cfg PortConfig) *Port {
 	p := &Port{cfg: cfg.withDefaults()}
@@ -94,8 +119,9 @@ func NewPort(cfg PortConfig) *Port {
 	return p
 }
 
-// Occupancy returns bytes currently held back by the formatter.
-func (p *Port) Occupancy() int { return len(p.buf) }
+// Occupancy returns bytes currently held back by the formatter (either
+// materialised or counted, depending on mode).
+func (p *Port) Occupancy() int { return len(p.buf) + p.occ }
 
 // StageName identifies the port in pipeline stage listings.
 func (p *Port) StageName() string { return "ptm" }
@@ -106,7 +132,7 @@ func (p *Port) StageName() string { return "ptm" }
 // Overflows and Dropped are 0 by design (not merely unreported), and
 // Accepted counts every byte admitted to the hold-back buffer.
 func (p *Port) QueueStats() sim.QueueStats {
-	return sim.QueueStats{Len: len(p.buf), MaxDepth: p.maxOccupy, Accepted: p.pushed}
+	return sim.QueueStats{Len: len(p.buf) + p.occ, MaxDepth: p.maxOccupy, Accepted: p.pushed}
 }
 
 // MaxOccupancy returns the high-water mark of the hold-back buffer.
@@ -146,15 +172,33 @@ func (p *Port) Flush(at sim.Time) {
 	}
 }
 
-// release schedules every buffered byte onto the port.
-func (p *Port) release(at sim.Time) {
+// schedule records one drain burst of n bytes requested at time at: it
+// advances the release counters and the departure horizon and emits the
+// telemetry span, returning the burst's arithmetic-progression schedule.
+// Shared by the staged and counted modes so both produce identical timing,
+// counters, and spans.
+func (p *Port) schedule(at sim.Time, n int) Release {
 	p.releases++
 	p.obsReleases.Inc()
-	beat := p.cfg.Clock.NextEdge(at)
-	if beat < p.freeAt {
-		beat = p.freeAt
+	start := p.cfg.Clock.NextEdge(at)
+	if start < p.freeAt {
+		start = p.freeAt
 	}
-	releaseStart := beat
+	step := p.cfg.Clock.Period()
+	beats := (n + p.cfg.BytesPerCycle - 1) / p.cfg.BytesPerCycle
+	end := start + sim.Time(beats)*step
+	if p.track != nil {
+		p.track.Span("release", int64(start), int64(end),
+			map[string]any{"bytes": n})
+	}
+	p.freeAt = end
+	return Release{Start: start, Bytes: n, Group: p.cfg.BytesPerCycle, Step: step}
+}
+
+// release schedules every buffered byte onto the port (staged mode).
+func (p *Port) release(at sim.Time) {
+	r := p.schedule(at, len(p.buf))
+	beat := r.Start
 	for i := 0; i < len(p.buf); i += p.cfg.BytesPerCycle {
 		end := i + p.cfg.BytesPerCycle
 		if end > len(p.buf) {
@@ -163,14 +207,47 @@ func (p *Port) release(at sim.Time) {
 		for _, b := range p.buf[i:end] {
 			p.out = append(p.out, TimedByte{At: beat, B: b})
 		}
-		beat += p.cfg.Clock.Period()
+		beat += r.Step
 	}
-	if p.track != nil {
-		p.track.Span("release", int64(releaseStart), int64(beat),
-			map[string]any{"bytes": len(p.buf)})
-	}
-	p.freeAt = beat
 	p.buf = p.buf[:0]
+}
+
+// PushCounted is the fused fast-path form of Push: it accounts for n bytes
+// produced at time at without materialising them. The returned Release
+// carries the drain burst's departure schedule (Bytes == 0 when the push
+// did not cross the threshold); the returned stall is the same
+// backpressure duration Push reports. Timing, counters, and spans are
+// bit-identical to pushing the same bytes through Push.
+func (p *Port) PushCounted(at sim.Time, n int) (Release, sim.Time) {
+	p.occ += n
+	p.pushed += int64(n)
+	p.obsBytes.Add(int64(n))
+	if p.occ > p.maxOccupy {
+		p.maxOccupy = p.occ
+	}
+	var rel Release
+	if p.occ >= p.cfg.DrainThreshold {
+		rel = p.schedule(at, p.occ)
+		p.occ = 0
+	}
+	horizon := p.cfg.Clock.Duration(int64(p.cfg.QueueBytes / p.cfg.BytesPerCycle))
+	if lag := p.freeAt - at - horizon; lag > 0 {
+		p.obsStallPS.Add(int64(lag))
+		return rel, lag
+	}
+	return rel, 0
+}
+
+// FlushCounted is the fused fast-path form of Flush: any counted occupancy
+// is released regardless of the threshold. Bytes == 0 in the returned
+// Release means nothing was held back.
+func (p *Port) FlushCounted(at sim.Time) Release {
+	var rel Release
+	if p.occ > 0 {
+		rel = p.schedule(at, p.occ)
+		p.occ = 0
+	}
+	return rel
 }
 
 // Take returns and clears the released-byte stream. The returned slice is
@@ -208,6 +285,7 @@ type OverheadSink struct {
 
 	cpuClock  *sim.Clock
 	lastSyncs int64
+	encBuf    []byte // recycled per-event encode buffer (zero-alloc contract)
 }
 
 // NewOverheadSink builds the standard RTAD collection path: broadcast
@@ -223,7 +301,8 @@ func NewOverheadSink(cfg Config, pcfg PortConfig) *OverheadSink {
 // BranchRetired implements cpu.Sink.
 func (s *OverheadSink) BranchRetired(ev cpu.BranchEvent) int64 {
 	at := s.cpuClock.Duration(ev.Cycle)
-	bytes := s.Enc.Encode(ev)
+	s.encBuf = s.Enc.EncodeInto(s.encBuf[:0], ev)
+	bytes := s.encBuf
 	var stall int64
 	if syncs := s.Enc.Syncs(); syncs != s.lastSyncs {
 		s.lastSyncs = syncs

@@ -57,6 +57,12 @@ type Config struct {
 	// BatchMax caps one micro-batch (0 = DefaultBatchMax). A full batch
 	// flushes without waiting out the window.
 	BatchMax int
+	// StagedTrace runs every session's trace-delivery chain on the staged
+	// byte/word reference path instead of the fused analytic fast path.
+	// Judgment streams are bit-identical either way (the fused path's
+	// contract, enforced by the differential CI job); this is an escape
+	// hatch for cross-checking a live deployment against the reference.
+	StagedTrace bool
 	// Telemetry records serve metrics (sessions, rejections, queue depth,
 	// bytes, judgments, wall-clock stage latencies) alongside whatever the
 	// registry already holds.
@@ -555,7 +561,7 @@ func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*co
 	opts := []core.Option{
 		core.WithConfig(core.PipelineConfig{
 			CUs: hello.CUs, Backend: backend, Stride: stride,
-			Calibration: s.calib,
+			Calibration: s.calib, StagedTrace: s.cfg.StagedTrace,
 		}),
 		core.WithTraceInput(gap),
 	}

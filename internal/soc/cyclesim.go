@@ -221,7 +221,7 @@ func (cs *cyclesim) tick() {
 		if sim.CPUClock.Duration(ev.Cycle) > cs.now {
 			break
 		}
-		cs.holdback = append(cs.holdback, cs.enc.Encode(ev)...)
+		cs.holdback = cs.enc.EncodeInto(cs.holdback, ev)
 		cs.nextEv++
 	}
 }

@@ -48,9 +48,17 @@ type Config struct {
 // Formatter packs timed trace bytes into frames and emits them as timed
 // 32-bit words. A frame is emitted only once full (or on Flush), which adds
 // the framing component of the trace-visibility latency in Fig 7.
+//
+// Like ptm.Port, the formatter has two modes chosen by the Push family in
+// use: the staged mode (Push/Flush/TakeInto) materialises frame words as
+// TimedWords; the counted fast-path mode (PushCounted/FlushCounted) keeps
+// only a byte-count cursor and reports each frame's emission beat as a
+// FrameEmit — same timing algebra, no frame bytes or port words. One
+// formatter instance must stay in one mode.
 type Formatter struct {
 	cfg    Config
 	buf    []byte
+	cnt    int      // counted-mode buffered bytes (staged mode uses len(buf))
 	bufAt  sim.Time // time the most recent buffered byte arrived
 	freeAt sim.Time // next instant the output port is free
 	out    []TimedWord
@@ -62,6 +70,15 @@ type Formatter struct {
 	obsFrames *obs.Counter
 	obsBytes  *obs.Counter
 	track     *obs.Track
+}
+
+// FrameEmit describes one frame emission on the fused fast path: the port
+// instant of the frame's last (fourth) word, and how many payload bytes the
+// frame carries. A downstream consumer sees the whole frame — and therefore
+// every packet completed by its payload — once that last word lands.
+type FrameEmit struct {
+	LastWordAt sim.Time
+	Payload    int
 }
 
 // NewFormatter returns a formatter with cfg applied.
@@ -84,8 +101,9 @@ func NewFormatter(cfg Config) *Formatter {
 // Frames reports how many frames have been emitted.
 func (f *Formatter) Frames() int64 { return f.frames }
 
-// Buffered reports bytes waiting for a frame boundary.
-func (f *Formatter) Buffered() int { return len(f.buf) }
+// Buffered reports bytes waiting for a frame boundary (materialised or
+// counted, depending on mode).
+func (f *Formatter) Buffered() int { return len(f.buf) + f.cnt }
 
 // StageName identifies the formatter in pipeline stage listings.
 func (f *Formatter) StageName() string { return "tpiu" }
@@ -96,7 +114,7 @@ func (f *Formatter) StageName() string { return "tpiu" }
 // so Overflows and Dropped are 0 by design, and Accepted counts every
 // trace byte admitted.
 func (f *Formatter) QueueStats() sim.QueueStats {
-	return sim.QueueStats{Len: len(f.buf), MaxDepth: f.maxBuf, Accepted: f.pushed}
+	return sim.QueueStats{Len: len(f.buf) + f.cnt, MaxDepth: f.maxBuf, Accepted: f.pushed}
 }
 
 // Push adds one trace byte arriving at time at.
@@ -162,6 +180,82 @@ func (f *Formatter) emit() {
 	if len(f.buf) >= PayloadBytes {
 		f.emit()
 	}
+}
+
+// PushCounted is the fused fast-path form of Push: it accounts for n trace
+// bytes arriving per a port release schedule — byte j of the burst arrives
+// at start + (j/group)*step — without materialising bytes or words. One
+// FrameEmit is appended to dst per frame boundary the burst crosses.
+// Timing, counters, spans, and queue statistics are bit-identical to
+// feeding the same bytes through Push one call each.
+func (f *Formatter) PushCounted(start, step sim.Time, group, n int, dst []FrameEmit) []FrameEmit {
+	if n <= 0 {
+		return dst
+	}
+	f.pushed += int64(n)
+	f.obsBytes.Add(int64(n))
+	if peak := f.cnt + n; peak > f.maxBuf {
+		// The staged buffer grows one byte per Push, so within a burst it
+		// peaks at exactly PayloadBytes whenever a frame completes.
+		if peak > PayloadBytes {
+			peak = PayloadBytes
+		}
+		if peak > f.maxBuf {
+			f.maxBuf = peak
+		}
+	}
+	// The buffer reaches PayloadBytes at burst byte j = PayloadBytes-1-cnt,
+	// then again every PayloadBytes bytes. bufAt advances to each trigger
+	// byte's arrival before its emit, exactly as the staged per-byte Push
+	// sequence would leave it.
+	for j := PayloadBytes - 1 - f.cnt; j < n; j += PayloadBytes {
+		if t := start + sim.Time(j/group)*step; t > f.bufAt {
+			f.bufAt = t
+		}
+		dst = append(dst, f.emitCounted(PayloadBytes))
+	}
+	// Residual partial-frame bytes still advance bufAt (they condition the
+	// next emit's beat), up to the burst's last byte.
+	if t := start + sim.Time((n-1)/group)*step; t > f.bufAt {
+		f.bufAt = t
+	}
+	f.cnt = (f.cnt + n) % PayloadBytes
+	return dst
+}
+
+// FlushCounted is the fused fast-path form of Flush: any counted partial
+// frame is emitted at time at. The second result is false when nothing was
+// buffered.
+func (f *Formatter) FlushCounted(at sim.Time) (FrameEmit, bool) {
+	if f.cnt == 0 {
+		return FrameEmit{}, false
+	}
+	if at > f.bufAt {
+		f.bufAt = at
+	}
+	fe := f.emitCounted(f.cnt)
+	f.cnt = 0
+	return fe, true
+}
+
+// emitCounted schedules one frame's four words on the port analytically,
+// mirroring emit's beat selection, telemetry, and counters without
+// materialising the words.
+func (f *Formatter) emitCounted(n int) FrameEmit {
+	beat := f.cfg.Clock.NextEdge(f.bufAt)
+	if beat < f.freeAt {
+		beat = f.freeAt
+	}
+	period := f.cfg.Clock.Period()
+	end := beat + sim.Time(FrameBytes/4)*period
+	if f.track != nil {
+		f.track.Span("frame", int64(beat), int64(end),
+			map[string]any{"payload": n})
+	}
+	f.obsFrames.Inc()
+	f.freeAt = end
+	f.frames++
+	return FrameEmit{LastWordAt: end - period, Payload: n}
 }
 
 // Take returns and clears the emitted word stream. The returned slice is
