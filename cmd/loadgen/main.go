@@ -187,11 +187,11 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 	if opts.wallTrace != "" {
 		wall = obs.NewWallTracer()
 	}
-	base := serve.Config{
-		MaxSessions: clients + 8,
-		Workers:     workers,
-		Logger:      dlog, // default -log-level warn keeps per-session lines out of the bench output
-		WallTracer:  wall,
+	base := []serve.Option{
+		serve.WithMaxSessions(clients + 8),
+		serve.WithWorkers(workers),
+		serve.WithLogger(dlog), // default -log-level warn keeps per-session lines out of the bench output
+		serve.WithWallTracer(wall),
 	}
 	modeList := strings.Split(modes, ",")
 	for _, mode := range modeList {
@@ -208,13 +208,12 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 	all := map[string][]*passStats{}
 	for rep := 0; rep < repeats; rep++ {
 		for _, mode := range modeList {
-			cfg := base
-			cfg.Telemetry = obs.NewMetricsOnly()
+			tel := obs.NewMetricsOnly()
+			opts := append(append([]serve.Option(nil), base...), serve.WithTelemetry(tel))
 			if mode == "batched" {
-				cfg.BatchWindow = batchWindow
-				cfg.BatchMax = batchMax
+				opts = append(opts, serve.WithBatching(batchWindow, batchMax))
 			}
-			daddr, stop, err := startDaemon(cfg, dep)
+			daddr, stop, err := startDaemon(dep, opts...)
 			if err != nil {
 				return err
 			}
@@ -222,7 +221,7 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 			// reading the registry in-process: the SLO snapshot printed next
 			// to the client-side numbers is exactly what an external
 			// Prometheus would have seen.
-			msrv, err := obs.Serve("127.0.0.1:0", cfg.Telemetry.Reg)
+			msrv, err := obs.Serve("127.0.0.1:0", tel.Reg)
 			if err != nil {
 				stop()
 				return err
@@ -244,13 +243,13 @@ func run(addr, bench, backend string, clients, probes, stride int, gap int64, ch
 				return err
 			}
 			if mode == "batched" {
-				h := cfg.Telemetry.Reg.Histogram("rtad_serve_batch_size", serve.BatchSizeBuckets)
+				h := tel.Reg.Histogram("rtad_serve_batch_size", serve.BatchSizeBuckets)
 				if h.Count() > 0 {
 					st.batchMeanSize = h.Sum() / float64(h.Count())
 				}
 				st.flushes = map[string]int64{}
 				for _, reason := range []string{"window", "full", "starve", "drain"} {
-					st.flushes[reason] = cfg.Telemetry.Reg.Counter("rtad_serve_batch_flush_" + reason + "_total").Value()
+					st.flushes[reason] = tel.Reg.Counter("rtad_serve_batch_flush_" + reason + "_total").Value()
 				}
 			}
 			all[mode] = append(all[mode], st)
@@ -660,8 +659,8 @@ func cpuModel() string {
 }
 
 // startDaemon runs an in-process server over dep on a loopback listener.
-func startDaemon(cfg serve.Config, dep *core.Deployment) (string, func() error, error) {
-	srv := serve.NewServer(cfg)
+func startDaemon(dep *core.Deployment, opts ...serve.Option) (string, func() error, error) {
+	srv := serve.New(nil, opts...)
 	srv.Deploy(dep)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -19,8 +19,17 @@
 // -log-level), session-scoped lines carry a session=<id> attribute matching
 // the SessionID in the welcome frame, -wall-trace records serving-plane
 // spans to a Perfetto JSON file, and -metrics-addr additionally mounts
-// /debug/sessions (live session snapshot) and /debug/flightrecorder
-// (recent per-session event rings) next to /metrics and /debug/pprof.
+// /debug/sessions (live session snapshot), /debug/models (model registry
+// snapshot + lifecycle verbs) and /debug/flightrecorder (recent
+// per-session event rings) next to /metrics and /debug/pprof.
+//
+// Model lifecycle: every deployment lives in a versioned registry. New
+// versions arrive through POST /debug/models/load (or -watch, which polls
+// a directory for new/changed .dep files), shadow-judge a slice of live
+// traffic as a canary (-canary-fraction, or the canary= parameter), and
+// go live atomically via POST /debug/models/promote — in-flight sessions
+// finish on the version that welcomed them; new sessions get the new
+// weights. Zero downtime, zero rejected frames.
 package main
 
 import (
@@ -30,12 +39,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"rtad/internal/core"
 	"rtad/internal/obs"
+	"rtad/internal/registry"
 	"rtad/internal/serve"
 	"rtad/internal/workload"
 )
@@ -61,6 +72,10 @@ func main() {
 		batchWindow = flag.Duration("batch-window", 0, "micro-batch collection window for cross-session fused inference (0 = unbatched)")
 		batchMax    = flag.Int("batch-max", 0, "max vectors per micro-batch (0 = built-in default)")
 
+		watchDir       = flag.String("watch", "", "poll this directory for new or changed .dep files and register them as model versions")
+		watchInterval  = flag.Duration("watch-interval", 5*time.Second, "poll cadence of -watch")
+		canaryFraction = flag.Float64("canary-fraction", 0, "shadow-judge this slice of traffic on versions arriving via -watch before promotion (0 = promote immediately)")
+
 		logFormat = flag.String("log-format", "text", "structured log format: "+obs.LogFormats)
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		wallTrace = flag.String("wall-trace", "", "write a Perfetto JSON wall-clock trace of serving-plane spans to this file at exit")
@@ -83,27 +98,32 @@ func main() {
 		wall = obs.NewWallTracer()
 	}
 
-	srv := serve.NewServer(serve.Config{
-		MaxSessions:  *maxSessions,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		Shed:         *shed,
-		GapCycles:    *gap,
-		StagedTrace:  *stagedTrace,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		BatchWindow:  *batchWindow,
-		BatchMax:     *batchMax,
-		Telemetry:    tel,
-		Logger:       logger,
-		WallTracer:   wall,
-		Flight:       flight,
-	})
+	opts := []serve.Option{
+		serve.WithMaxSessions(*maxSessions),
+		serve.WithWorkers(*workers),
+		serve.WithQueueDepth(*queue),
+		serve.WithGapCycles(*gap),
+		serve.WithTimeouts(*readTimeout, *writeTimeout),
+		serve.WithBatching(*batchWindow, *batchMax),
+		serve.WithTelemetry(tel),
+		serve.WithLogger(logger),
+		serve.WithWallTracer(wall),
+		serve.WithFlight(flight),
+	}
+	if *shed {
+		opts = append(opts, serve.WithShed())
+	}
+	if *stagedTrace {
+		opts = append(opts, serve.WithStagedTrace())
+	}
+	srv := serve.New(registry.New(), opts...)
 
 	var msrv *obs.Server
 	if *metricsAdr != "" {
 		msrv, err = obs.Serve(*metricsAdr, tel.Reg,
 			obs.Route{Pattern: "/debug/sessions", Handler: srv.SessionsHandler()},
+			obs.Route{Pattern: "/debug/models", Handler: srv.ModelsHandler()},
+			obs.Route{Pattern: "/debug/models/", Handler: srv.ModelsAdminHandler()},
 			obs.Route{Pattern: "/debug/flightrecorder", Handler: srv.FlightHandler()},
 		)
 		if err != nil {
@@ -116,8 +136,21 @@ func main() {
 		fatal(err)
 	}
 	keys := srv.Models()
-	if len(keys) == 0 {
-		fatal(fmt.Errorf("no deployments: give -bench (train at startup) or -load (saved files)"))
+	if len(keys) == 0 && *watchDir == "" {
+		fatal(fmt.Errorf("no deployments: give -bench (train at startup), -load (saved files), or -watch (a model directory)"))
+	}
+
+	watchStop := make(chan struct{})
+	if *watchDir != "" {
+		w := &modelWatcher{
+			dir: *watchDir, reg: srv.Registry(), log: logger,
+			canaryFraction: *canaryFraction, seen: map[string]time.Time{},
+		}
+		w.scan() // synchronous first pass so -watch-only daemons serve at startup
+		go w.run(*watchInterval, watchStop)
+		logger.Info("watching for model versions", "dir", *watchDir,
+			"interval", *watchInterval, "canary_fraction", *canaryFraction)
+		keys = srv.Models()
 	}
 	logger.Info("serving deployments", "count", len(keys), "models", strings.Join(keys, ", "))
 	if *batchWindow > 0 {
@@ -145,6 +178,7 @@ func main() {
 	if err := srv.Serve(ln); err != nil {
 		fatal(err)
 	}
+	close(watchStop)
 	// Drain order: sessions first (above), then the introspection endpoint —
 	// gracefully, so a /metrics or /debug/sessions scrape racing the drain
 	// still completes — and finally the wall trace, which must include the
@@ -210,6 +244,88 @@ func loadDeployments(srv *serve.Server, logger *slog.Logger, loads, benches, mod
 		}
 	}
 	return nil
+}
+
+// modelWatcher polls a directory for .dep files and feeds new or changed
+// ones into the registry — the hands-off half of the retrain-and-promote
+// loop: a trainer drops a fresh file, the daemon picks it up, canaries it
+// on live traffic (when -canary-fraction > 0 and the key already serves),
+// or promotes it straight away. Re-scans are idempotent: an unchanged file
+// is skipped by modtime, and a rewritten file with identical weights
+// dedupes on the registry's content fingerprint.
+type modelWatcher struct {
+	dir            string
+	reg            *registry.Registry
+	log            *slog.Logger
+	canaryFraction float64
+	seen           map[string]time.Time // path -> modtime at last load
+}
+
+func (w *modelWatcher) run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.scan()
+		}
+	}
+}
+
+func (w *modelWatcher) scan() {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		w.log.Warn("model watch: scan failed", "dir", w.dir, "err", err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".dep" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		path := filepath.Join(w.dir, e.Name())
+		if mt, ok := w.seen[path]; ok && mt.Equal(info.ModTime()) {
+			continue
+		}
+		w.seen[path] = info.ModTime()
+		w.load(path)
+	}
+}
+
+func (w *modelWatcher) load(path string) {
+	dep, err := core.LoadDeploymentFile(path)
+	if err != nil {
+		w.log.Warn("model watch: load failed", "file", path, "err", err)
+		return
+	}
+	v, err := w.reg.Register(dep, registry.Meta{Origin: "watch:" + path, LoadedAt: time.Now()})
+	if err != nil {
+		w.log.Warn("model watch: register failed", "file", path, "err", err)
+		return
+	}
+	if a, ok := w.reg.Active(v.Key()); ok && a.ID() == v.ID() {
+		return // unchanged content, already serving
+	}
+	// Canary when a fraction is configured and there is live traffic to
+	// shadow (an active version); otherwise promote immediately — which is
+	// also the bootstrap path for a key's first version.
+	if w.canaryFraction > 0 {
+		if err := w.reg.StartCanary(v.Key(), v.ID(), w.canaryFraction); err == nil {
+			w.log.Info("model watch: canary started", "model", v.Key(), "version", v.ID(),
+				"file", path, "fraction", w.canaryFraction)
+			return
+		}
+	}
+	if err := w.reg.Promote(v.Key(), v.ID()); err != nil {
+		w.log.Warn("model watch: promote failed", "model", v.Key(), "version", v.ID(), "err", err)
+		return
+	}
+	w.log.Info("model watch: promoted", "model", v.Key(), "version", v.ID(), "file", path)
 }
 
 func splitList(s string) []string {

@@ -43,6 +43,7 @@ func main() {
 		mimic   = flag.Bool("mimicry", false, "replay a contiguous legitimate segment (harder to detect)")
 		save    = flag.String("save", "", "save the trained deployment to this file")
 		load    = flag.String("load", "", "load a previously saved deployment instead of training")
+		trInstr = flag.Int64("train-instr", 0, "override the training instruction budget (0 = model default; different budgets yield distinct model versions for rtadd's registry)")
 
 		tracePath  = flag.String("trace", "", "write a Perfetto trace_event JSON of the detection run to this file")
 		metricsAdr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof live on this address")
@@ -106,7 +107,11 @@ func main() {
 		fmt.Printf("loaded %v deployment for %s from %s\n", dep.Kind, dep.Profile.Name, *load)
 	} else {
 		fmt.Printf("training %v detector on %s (normal traces)...\n", kind, p.Name)
-		dep, err = core.Train(core.DefaultTrainConfig(p, kind))
+		tcfg := core.DefaultTrainConfig(p, kind)
+		if *trInstr > 0 {
+			tcfg.TrainInstr = *trInstr
+		}
+		dep, err = core.Train(tcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			prof.Exit(ps, 1)

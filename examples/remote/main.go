@@ -81,8 +81,8 @@ func main() {
 		log.Fatal(err)
 	}
 	w := cl.Welcome()
-	fmt.Printf("session %s: %s/%s backend=%s window=%d gap=%d\n",
-		w.Session, w.Benchmark, w.Model, w.Backend, w.Window, w.GapCycles)
+	fmt.Printf("session %s: %s/%s backend=%s window=%d gap=%d model_version=%d\n",
+		w.Session, w.Benchmark, w.Model, w.Backend, w.Window, w.GapCycles, cl.ModelVersion())
 
 	for off := 0; off < len(stream); off += *chunk {
 		end := off + *chunk
@@ -117,7 +117,7 @@ func startServer(p workload.Profile) string {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.NewServer(serve.Config{})
+	srv := serve.New(nil)
 	srv.Deploy(dep)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

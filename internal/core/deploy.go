@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rtad/internal/cpu"
 	"rtad/internal/igm"
@@ -97,6 +98,65 @@ type Deployment struct {
 	victimProg  *isa.Program
 	victimCache *cpu.Cache
 	victimErr   error
+
+	// refs counts live holds on this deployment: registry versions plus the
+	// sessions admitted on them. The deployment's data is immutable during
+	// inference — the count never gates reads — it only tells a lifecycle
+	// manager (internal/registry) when a retired version's memory, including
+	// the shared translation cache above, can actually be let go.
+	refs atomic.Int64
+}
+
+// Retain records one live hold on the deployment (a registry version, an
+// admitted session). Pair with Release.
+func (d *Deployment) Retain() { d.refs.Add(1) }
+
+// Release drops one hold and returns the holds remaining. Releasing below
+// zero panics: it means a session released a deployment it never retained,
+// which would let a lifecycle manager free memory still in use.
+func (d *Deployment) Release() int64 {
+	n := d.refs.Add(-1)
+	if n < 0 {
+		panic("core: Deployment.Release without a matching Retain")
+	}
+	return n
+}
+
+// Refs reports the current hold count.
+func (d *Deployment) Refs() int64 { return d.refs.Load() }
+
+// Fingerprint is the deployment's content identity: a 64-bit hash over the
+// model kind, the trained weight image (ml fingerprints), and the IGM
+// lookup table. Two deployments fingerprint equal exactly when they would
+// judge identically; the registry uses this to recognise a re-loaded file
+// as a version it already serves.
+func (d *Deployment) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(w uint64) {
+		for i := 0; i < 64; i += 8 {
+			h ^= uint64(byte(w >> i))
+			h *= prime
+		}
+	}
+	mix(uint64(d.Kind))
+	switch {
+	case d.ELM != nil:
+		mix(d.ELM.Fingerprint())
+	case d.LSTM != nil:
+		mix(d.LSTM.Fingerprint())
+	}
+	if d.Mapper != nil {
+		entries := d.Mapper.Entries()
+		mix(uint64(len(entries)))
+		for _, e := range entries {
+			mix(uint64(e.Addr)<<32 | uint64(uint32(e.Class)))
+		}
+		if d.Mapper.HasSyscalls() {
+			mix(1)
+		}
+	}
+	return h
 }
 
 // victimProgram returns the deployment's generated victim binary and the

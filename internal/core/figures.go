@@ -108,7 +108,7 @@ const ivgCycles = 2
 func MeasureRTADTransfer(dep *Deployment, pcfg PipelineConfig, instr int64) (TransferBreakdown, int, error) {
 	// A session with no attack armed is exactly the clean-window pipeline
 	// run the figure needs.
-	s, err := NewSession(dep, pcfg)
+	s, err := Open(Deployments{dep}, WithConfig(pcfg))
 	if err != nil {
 		return TransferBreakdown{}, 0, err
 	}

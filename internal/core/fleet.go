@@ -60,10 +60,14 @@ func (f *Fleet) Observe(tel *obs.Telemetry) { f.tel = tel }
 func (f *Fleet) Go(fn func() error) {
 	f.mu.Lock()
 	if f.jobs == nil {
-		f.jobs = make(chan func(), f.workers)
+		// Workers range over a captured local, not the f.jobs field: an
+		// idle worker that never received a job has no happens-before edge
+		// with a later Close, so a field read here would race its nil-ing.
+		ch := make(chan func(), f.workers)
+		f.jobs = ch
 		for k := 0; k < f.workers; k++ {
 			go func() {
-				for job := range f.jobs {
+				for job := range ch {
 					job()
 				}
 			}()
@@ -157,7 +161,14 @@ func (f *Fleet) Detect(jobs []Job) ([]*DetectionResult, error) {
 			regs[i] = jt.Reg
 			cfg.Telemetry = jt
 		}
-		res, err := RunDetection(jobs[i].Dep, cfg, jobs[i].Attack, jobs[i].Instr)
+		res, err := func() (*DetectionResult, error) {
+			s, err := Open(Deployments{jobs[i].Dep}, WithConfig(cfg),
+				WithAttack(jobs[i].Attack.Resolve(jobs[i].Instr)))
+			if err != nil {
+				return nil, err
+			}
+			return s.Detect(jobs[i].Instr)
+		}()
 		if err != nil {
 			jobsFailed.Inc()
 			return fmt.Errorf("core: fleet job %d (%s): %w", i, jobs[i].Dep.Profile.Name, err)

@@ -1,0 +1,71 @@
+package ml
+
+import "math"
+
+// Model fingerprints give a trained model a stable content identity: two
+// models hash equal exactly when their deployed images — configuration,
+// weights, threshold — are bit-identical. The model registry uses them to
+// recognise a re-loaded file as a version it already holds, and operators
+// use them to tell "same weights, new file" from a genuine retrain.
+
+// fnv64 is FNV-1a over 64-bit words (the weight images are float64 /
+// int-shaped, so hashing whole words avoids a byte-serialisation pass).
+type fnv64 uint64
+
+const (
+	fnvOffset64 fnv64 = 14695981039346656037
+	fnvPrime64  fnv64 = 1099511628211
+)
+
+func (h fnv64) word(w uint64) fnv64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= fnv64(byte(w >> i))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func (h fnv64) int(v int) fnv64       { return h.word(uint64(int64(v))) }
+func (h fnv64) float(v float64) fnv64 { return h.word(math.Float64bits(v)) }
+
+func (h fnv64) floats(vs []float64) fnv64 {
+	h = h.int(len(vs))
+	for _, v := range vs {
+		h = h.float(v)
+	}
+	return h
+}
+
+func (h fnv64) mat(m *Mat) fnv64 {
+	if m == nil {
+		return h.int(-1)
+	}
+	h = h.int(m.Rows).int(m.Cols)
+	return h.floats(m.Data)
+}
+
+// Fingerprint returns the ELM's content identity: a 64-bit FNV-1a hash over
+// the model shape, the frozen expansion, the readout, and the calibrated
+// threshold.
+func (m *ELM) Fingerprint() uint64 {
+	h := fnvOffset64.
+		int(m.Cfg.Window).int(m.Cfg.Vocab).int(m.Cfg.Hidden).
+		float(m.Cfg.Ridge).
+		mat(m.W1).floats(m.B1).mat(m.BetaT).
+		float(m.Threshold)
+	return uint64(h)
+}
+
+// Fingerprint returns the LSTM's content identity: a 64-bit FNV-1a hash
+// over the model shape, every gate's weights and biases, the embedding and
+// readout, and the calibrated threshold.
+func (m *LSTM) Fingerprint() uint64 {
+	h := fnvOffset64.
+		int(m.Cfg.Window).int(m.Cfg.Vocab).int(m.Cfg.Embed).int(m.Cfg.Hidden).
+		mat(m.Emb)
+	for g := 0; g < int(NumGates); g++ {
+		h = h.mat(m.Wg[g]).floats(m.Bg[g])
+	}
+	h = h.mat(m.OutW).floats(m.OutB).float(m.Threshold)
+	return uint64(h)
+}

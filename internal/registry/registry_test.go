@@ -1,0 +1,308 @@
+package registry_test
+
+import (
+	"testing"
+	"time"
+
+	"rtad/internal/core"
+	"rtad/internal/ml"
+	"rtad/internal/obs"
+	"rtad/internal/registry"
+	"rtad/internal/workload"
+)
+
+// dep fabricates a minimal deployment whose content identity is driven by
+// the threshold — enough for lifecycle tests without paying for training.
+func dep(bench string, threshold float64) *core.Deployment {
+	return &core.Deployment{
+		Profile: workload.Profile{Name: bench},
+		Kind:    core.ModelELM,
+		ELM:     &ml.ELM{Cfg: ml.DefaultELMConfig(), Threshold: threshold},
+	}
+}
+
+func mustRegister(t *testing.T, r *registry.Registry, d *core.Deployment, origin string) *registry.Version {
+	t.Helper()
+	v, err := r.Register(d, registry.Meta{Origin: origin, LoadedAt: time.Unix(1700000000, 0)})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return v
+}
+
+func TestRegisterMonotonicIDsAndDedupe(t *testing.T) {
+	r := registry.New()
+	v1 := mustRegister(t, r, dep("b", 0.1), "trained")
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:a.dep")
+	if v1.ID() != 1 || v2.ID() != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", v1.ID(), v2.ID())
+	}
+	if v1.Key() != "b/elm" || v2.Key() != "b/elm" {
+		t.Fatalf("keys = %q, %q; want b/elm", v1.Key(), v2.Key())
+	}
+	// Same content registers as the same version (file-watch idempotence).
+	again := mustRegister(t, r, dep("b", 0.1), "file:rescan.dep")
+	if again != v1 {
+		t.Fatalf("re-register of identical content: got version %d, want %d", again.ID(), v1.ID())
+	}
+	// A different benchmark key starts its own history but shares the id space.
+	v3 := mustRegister(t, r, dep("c", 0.1), "trained")
+	if v3.ID() != 3 {
+		t.Fatalf("cross-key id = %d, want 3", v3.ID())
+	}
+}
+
+func TestPromoteSwapAndRollback(t *testing.T) {
+	r := registry.New()
+	v1 := mustRegister(t, r, dep("b", 0.1), "trained")
+	if _, _, err := r.Acquire("b/elm"); err == nil {
+		t.Fatal("Acquire before any promotion should fail")
+	}
+	if err := r.Promote("b/elm", v1.ID()); err != nil {
+		t.Fatalf("Promote v1: %v", err)
+	}
+	a, shadow, err := r.Acquire("b/elm")
+	if err != nil || a != v1 || shadow != nil {
+		t.Fatalf("Acquire = %v, %v, %v; want v1, nil, nil", a, shadow, err)
+	}
+	r.Release(a)
+
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:v2.dep")
+	if err := r.Promote("b/elm", v2.ID()); err != nil {
+		t.Fatalf("Promote v2: %v", err)
+	}
+	if a, _, _ := r.Acquire("b/elm"); a != v2 {
+		t.Fatalf("post-swap Acquire = v%d, want v%d", a.ID(), v2.ID())
+	} else {
+		r.Release(a)
+	}
+	// v1 had no holds, so the swap dropped it: it can no longer be promoted.
+	if err := r.Promote("b/elm", v1.ID()); err == nil {
+		t.Fatal("promoting a dropped version should fail")
+	}
+
+	// Rollback: a retired-but-held version can be re-promoted.
+	v3 := mustRegister(t, r, dep("b", 0.3), "file:v3.dep")
+	held, _, _ := r.Acquire("b/elm") // hold v2 in flight
+	if err := r.Promote("b/elm", v3.ID()); err != nil {
+		t.Fatalf("Promote v3: %v", err)
+	}
+	if err := r.Promote("b/elm", v2.ID()); err != nil {
+		t.Fatalf("rollback to held v2: %v", err)
+	}
+	r.Release(held)
+	if a, _, _ := r.Acquire("b/elm"); a != v2 {
+		t.Fatalf("post-rollback Acquire = v%d, want v%d", a.ID(), v2.ID())
+	}
+}
+
+func TestInFlightHoldsSurviveSwap(t *testing.T) {
+	r := registry.New()
+	d1 := dep("b", 0.1)
+	v1 := mustRegister(t, r, d1, "trained")
+	if err := r.Promote("b/elm", v1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	inflight, _, err := r.Acquire("b/elm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Refs() != 2 { // registry hold + session hold
+		t.Fatalf("deployment refs = %d, want 2", d1.Refs())
+	}
+
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:v2.dep")
+	if err := r.Promote("b/elm", v2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The in-flight session still holds retired v1; the snapshot still shows it.
+	snap := r.Snapshot()
+	if len(snap) != 1 || len(snap[0].Versions) != 2 {
+		t.Fatalf("snapshot = %+v; want 1 model with 2 versions", snap)
+	}
+	if st := snap[0].Versions[0].State; st != "retired" {
+		t.Fatalf("v1 state = %q, want retired", st)
+	}
+	r.Release(inflight)
+	if d1.Refs() != 0 {
+		t.Fatalf("deployment refs after final release = %d, want 0", d1.Refs())
+	}
+	snap = r.Snapshot()
+	if len(snap[0].Versions) != 1 || snap[0].Versions[0].Version != v2.ID() {
+		t.Fatalf("post-drain snapshot versions = %+v; want only v2", snap[0].Versions)
+	}
+}
+
+func TestCanarySliceDeterministic(t *testing.T) {
+	r := registry.New()
+	v1 := mustRegister(t, r, dep("b", 0.1), "trained")
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:v2.dep")
+	if err := r.StartCanary("b/elm", v2.ID(), 0.25); err == nil {
+		t.Fatal("canary with no active version should fail")
+	}
+	if err := r.Promote("b/elm", v1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartCanary("b/elm", v1.ID(), 0.5); err == nil {
+		t.Fatal("canarying the active version should fail")
+	}
+	if err := r.StartCanary("b/elm", v2.ID(), 0.25); err != nil {
+		t.Fatalf("StartCanary: %v", err)
+	}
+	shadowed := 0
+	for i := 0; i < 100; i++ {
+		a, c, err := r.Acquire("b/elm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != v1 {
+			t.Fatalf("admission %d on v%d, want v%d", i, a.ID(), v1.ID())
+		}
+		if c != nil {
+			if c != v2 {
+				t.Fatalf("shadow on v%d, want v%d", c.ID(), v2.ID())
+			}
+			shadowed++
+			r.Release(c)
+		}
+		r.Release(a)
+	}
+	if shadowed != 25 {
+		t.Fatalf("shadowed %d of 100 admissions at fraction 0.25, want 25", shadowed)
+	}
+	if err := r.StopCanary("b/elm", v2.ID()); err != nil {
+		t.Fatalf("StopCanary: %v", err)
+	}
+	if _, c, _ := r.Acquire("b/elm"); c != nil {
+		t.Fatal("shadow admission after StopCanary")
+	}
+}
+
+func TestCanaryFullSliceAndPromotion(t *testing.T) {
+	r := registry.New()
+	v1 := mustRegister(t, r, dep("b", 0.1), "trained")
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:v2.dep")
+	if err := r.Promote("b/elm", v1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartCanary("b/elm", v2.ID(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a, c, err := r.Acquire("b/elm")
+		if err != nil || c != v2 {
+			t.Fatalf("admission %d: shadow = %v (err %v), want v2 on every admission", i, c, err)
+		}
+		r.Release(a)
+		r.Release(c)
+	}
+	// Promoting the canary ends the shadow lane.
+	if err := r.Promote("b/elm", v2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	a, c, err := r.Acquire("b/elm")
+	if err != nil || a != v2 || c != nil {
+		t.Fatalf("post-promotion Acquire = %v, %v, %v; want v2, nil, nil", a, c, err)
+	}
+	r.Release(a)
+}
+
+func TestRetireRules(t *testing.T) {
+	r := registry.New()
+	v1 := mustRegister(t, r, dep("b", 0.1), "trained")
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:v2.dep")
+	if err := r.Promote("b/elm", v1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Retire("b/elm", v1.ID()); err == nil {
+		t.Fatal("retiring the active version should fail")
+	}
+	if err := r.Retire("b/elm", v2.ID()); err != nil {
+		t.Fatalf("retiring a candidate: %v", err)
+	}
+	if err := r.Promote("b/elm", v2.ID()); err == nil {
+		t.Fatal("promoting a dropped version should fail")
+	}
+	if got := r.ActiveKeys(); len(got) != 1 || got[0] != "b/elm" {
+		t.Fatalf("ActiveKeys = %v", got)
+	}
+}
+
+func TestShadowDeltaAndSnapshot(t *testing.T) {
+	r := registry.New()
+	v1 := mustRegister(t, r, dep("b", 0.1), "trained")
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:v2.dep")
+	if err := r.Promote("b/elm", v1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartCanary("b/elm", v2.ID(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	r.RecordJudgments(v1, 100, 5)
+	// Candidate flags 12/100 where the baseline flagged 2/100: delta 0.10.
+	r.RecordShadow(v2, 100, 12, 100, 2)
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot models = %d, want 1", len(snap))
+	}
+	m := snap[0]
+	if m.ActiveVersion != v1.ID() || m.CanaryVersion != v2.ID() || m.CanaryFraction != 1.0 {
+		t.Fatalf("model header = %+v", m)
+	}
+	var cand *registry.VersionInfo
+	for i := range m.Versions {
+		if m.Versions[i].Version == v2.ID() {
+			cand = &m.Versions[i]
+		}
+	}
+	if cand == nil {
+		t.Fatal("candidate missing from snapshot")
+	}
+	if cand.ShadowAnomalyRate != 0.12 || cand.BaselineAnomalyRate != 0.02 {
+		t.Fatalf("shadow/baseline rates = %v/%v", cand.ShadowAnomalyRate, cand.BaselineAnomalyRate)
+	}
+	if d := cand.AnomalyRateDelta; d < 0.0999 || d > 0.1001 {
+		t.Fatalf("anomaly-rate delta = %v, want 0.10", d)
+	}
+}
+
+func TestObserveMetrics(t *testing.T) {
+	r := registry.New()
+	tel := obs.NewMetricsOnly()
+	r.Observe(tel)
+	v1 := mustRegister(t, r, dep("b", 0.1), "trained")
+	if err := r.Promote("b/elm", v1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	v2 := mustRegister(t, r, dep("b", 0.2), "file:v2.dep")
+	if err := r.StartCanary("b/elm", v2.ID(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Gauge(`rtad_serve_model_active_version{model="b/elm"}`).Value(); got != v1.ID() {
+		t.Fatalf("active_version gauge = %d, want %d", got, v1.ID())
+	}
+	if got := tel.Gauge(`rtad_serve_model_canary_version{model="b/elm"}`).Value(); got != v2.ID() {
+		t.Fatalf("canary_version gauge = %d, want %d", got, v2.ID())
+	}
+	if err := r.Promote("b/elm", v2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// Two promotions, but only the second displaced a live active version:
+	// the bootstrap promotion is not a swap.
+	if got := tel.Counter("rtad_serve_model_swaps_total").Value(); got != 1 {
+		t.Fatalf("swaps counter = %d, want 1", got)
+	}
+	if got := tel.Counter("rtad_serve_model_loads_total").Value(); got != 2 {
+		t.Fatalf("loads counter = %d, want 2", got)
+	}
+	if got := tel.Gauge(`rtad_serve_model_info{model="b/elm",version="2",state="active"}`).Value(); got != 1 {
+		t.Fatalf("info gauge for active v2 = %d, want 1", got)
+	}
+	if got := tel.Gauge(`rtad_serve_model_info{model="b/elm",version="2",state="canary"}`).Value(); got != 0 {
+		t.Fatalf("stale canary info gauge for v2 = %d, want 0", got)
+	}
+	r.RecordShadow(v2, 10, 3, 10, 1)
+	if got := tel.Counter("rtad_serve_shadow_judgments_total").Value(); got != 10 {
+		t.Fatalf("shadow judgments counter = %d, want 10", got)
+	}
+}

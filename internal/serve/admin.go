@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rtad/internal/core"
+	"rtad/internal/registry"
+)
+
+// Model-lifecycle admin surface. ModelsHandler serves the registry
+// snapshot at /debug/models; ModelsAdminHandler mounts the mutating verbs
+// under /debug/models/:
+//
+//	GET  /debug/models                    registry snapshot (per-version
+//	                                      states, refs, anomaly-rate deltas)
+//	POST /debug/models/load?file=F        load a .dep file as a candidate
+//	          [&canary=FRAC][&promote=1]  optionally canary or promote it
+//	POST /debug/models/canary?model=K&version=N&fraction=F
+//	POST /debug/models/promote?model=K&version=N
+//	POST /debug/models/retire?model=K&version=N
+//	POST /debug/models/canary/stop?model=K&version=N
+//
+// Every mutation answers with the updated registry snapshot, so one call
+// both acts and observes. This is the drive shaft of the zero-downtime
+// lifecycle: load → canary → (watch the delta) → promote → retire, all
+// against a serving daemon.
+
+// ModelsHandler serves the registry snapshot as JSON — mount it at
+// /debug/models on the obs exposition server.
+func (s *Server) ModelsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		s.writeModels(w)
+	})
+}
+
+func (s *Server) writeModels(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	doc := struct {
+		Models []registry.ModelInfo `json:"models"`
+	}{Models: s.reg.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&doc)
+}
+
+// adminError answers a failed mutation. Registry-rule violations (unknown
+// version, canarying the active version, retiring the active version, …)
+// are client errors, not server faults.
+func adminError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// ModelsAdminHandler serves the mutating lifecycle verbs — mount it at
+// /debug/models/ (note the trailing slash) next to ModelsHandler.
+func (s *Server) ModelsAdminHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			adminError(w, http.StatusMethodNotAllowed, fmt.Errorf("model lifecycle verbs are POST"))
+			return
+		}
+		var err error
+		switch req.URL.Path {
+		case "/debug/models/load":
+			err = s.adminLoad(req)
+		case "/debug/models/canary":
+			err = s.adminVersionVerb(req, func(key string, id int64) error {
+				frac, ferr := strconv.ParseFloat(req.FormValue("fraction"), 64)
+				if ferr != nil {
+					return fmt.Errorf("fraction: %w", ferr)
+				}
+				return s.reg.StartCanary(key, id, frac)
+			})
+		case "/debug/models/canary/stop":
+			err = s.adminVersionVerb(req, s.reg.StopCanary)
+		case "/debug/models/promote":
+			err = s.adminVersionVerb(req, func(key string, id int64) error {
+				if perr := s.reg.Promote(key, id); perr != nil {
+					return perr
+				}
+				s.log.Info("serve: model promoted", "model", key, "version", id)
+				return nil
+			})
+		case "/debug/models/retire":
+			err = s.adminVersionVerb(req, s.reg.Retire)
+		default:
+			adminError(w, http.StatusNotFound, fmt.Errorf("unknown lifecycle verb %q", req.URL.Path))
+			return
+		}
+		if err != nil {
+			adminError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.writeModels(w)
+	})
+}
+
+// adminVersionVerb parses the model/version pair every per-version verb
+// takes and applies fn.
+func (s *Server) adminVersionVerb(req *http.Request, fn func(key string, id int64) error) error {
+	key := req.FormValue("model")
+	if key == "" {
+		return fmt.Errorf("missing model parameter (benchmark/model key)")
+	}
+	id, err := strconv.ParseInt(req.FormValue("version"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("version: %w", err)
+	}
+	return fn(key, id)
+}
+
+// adminLoad loads a deployment file into the registry as a candidate, and
+// optionally canaries (canary=FRACTION) or promotes (promote=1) it in the
+// same call. Re-loading a file whose content the registry already holds is
+// idempotent (fingerprint dedupe), so the verb is safe to retry.
+func (s *Server) adminLoad(req *http.Request) error {
+	path := req.FormValue("file")
+	if path == "" {
+		return fmt.Errorf("missing file parameter")
+	}
+	dep, err := core.LoadDeploymentFile(path)
+	if err != nil {
+		return err
+	}
+	v, err := s.reg.Register(dep, registry.Meta{Origin: "file:" + path, LoadedAt: time.Now()})
+	if err != nil {
+		return err
+	}
+	s.log.Info("serve: model loaded", "model", v.Key(), "version", v.ID(), "file", path)
+	if frac := req.FormValue("canary"); frac != "" {
+		f, ferr := strconv.ParseFloat(frac, 64)
+		if ferr != nil {
+			return fmt.Errorf("canary: %w", ferr)
+		}
+		if err := s.reg.StartCanary(v.Key(), v.ID(), f); err != nil {
+			return err
+		}
+		s.log.Info("serve: canary started", "model", v.Key(), "version", v.ID(), "fraction", f)
+	}
+	if req.FormValue("promote") == "1" {
+		if err := s.reg.Promote(v.Key(), v.ID()); err != nil {
+			return err
+		}
+		s.log.Info("serve: model promoted", "model", v.Key(), "version", v.ID())
+	}
+	return nil
+}

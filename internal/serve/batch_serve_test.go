@@ -48,11 +48,10 @@ func TestBatchedE2EBitIdentical(t *testing.T) {
 	}
 
 	tel := obs.NewMetricsOnly()
-	addr := startServer(t, Config{
-		Workers:     4,
-		BatchWindow: 100 * time.Microsecond,
-		BatchMax:    8,
-		Telemetry:   tel,
+	addr := startServer(t, []Option{
+		WithWorkers(4),
+		WithBatching(100*time.Microsecond, 8),
+		WithTelemetry(tel),
 	}, dep)
 
 	// Two clients per backend, all concurrent: batches mix backends and
@@ -137,8 +136,8 @@ func TestBatchedVsUnbatchedSoloClient(t *testing.T) {
 	dep, stream := fixtures(t)
 	short := stream[:len(stream)/8]
 
-	run := func(cfg Config) []Judgment {
-		addr := startServer(t, cfg, dep)
+	run := func(opts []Option) []Judgment {
+		addr := startServer(t, opts, dep)
 		c, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm", Backend: kernels.BackendNative}, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -146,8 +145,8 @@ func TestBatchedVsUnbatchedSoloClient(t *testing.T) {
 		streamChunks(t, c, short, 8192)
 		return c.Judgments()
 	}
-	unbatched := run(Config{})
-	batched := run(Config{BatchWindow: 50 * time.Microsecond, BatchMax: 4})
+	unbatched := run(nil)
+	batched := run([]Option{WithBatching(50*time.Microsecond, 4)})
 	if len(unbatched) == 0 {
 		t.Fatal("no judgments; lengthen the fixture")
 	}
@@ -168,12 +167,11 @@ func TestDrainFlushesPartialBatches(t *testing.T) {
 	want, _ := referenceRun(t, dep, kernels.BackendNative, short)
 
 	tel := obs.NewMetricsOnly()
-	srv := NewServer(Config{
-		Workers:     2,
-		BatchWindow: 10 * time.Minute, // never expires within the test
-		BatchMax:    1 << 20,          // never fills
-		Telemetry:   tel,
-	})
+	srv := New(nil,
+		WithWorkers(2),
+		WithBatching(10*time.Minute, 1<<20), // never expires, never fills
+		WithTelemetry(tel),
+	)
 	srv.Deploy(dep)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -371,7 +369,7 @@ func TestBatcherProducerExitFlushes(t *testing.T) {
 func TestHelloStride(t *testing.T) {
 	dep, stream := fixtures(t)
 	short := stream[:len(stream)/8]
-	addr := startServer(t, Config{}, dep)
+	addr := startServer(t, nil, dep)
 
 	run := func(stride int) (*Welcome, []Judgment) {
 		c, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm", Stride: stride}, nil)
@@ -405,7 +403,7 @@ func TestHelloStride(t *testing.T) {
 // client mid-session with a context-attributed error.
 func TestClientContextCancel(t *testing.T) {
 	dep, stream := fixtures(t)
-	addr := startServer(t, Config{}, dep)
+	addr := startServer(t, nil, dep)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	c, err := DialContext(ctx, addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil)

@@ -159,6 +159,12 @@ func (c *Client) SessionID() string {
 	return c.welcome.Session
 }
 
+// ModelVersion returns the registry version id of the model this session
+// judges on — fixed at admission for the session's whole life, so a client
+// can attribute every judgment to exact weights across hot-swaps. Returns 0
+// when the server predates the model registry (legacy welcome payload).
+func (c *Client) ModelVersion() int64 { return c.welcome.ModelVersion }
+
 // Send streams raw PTM trace bytes, transparently splitting data into
 // MaxFrame-sized chunks. Chunk boundaries never affect the judgment stream.
 func (c *Client) Send(data []byte) error {

@@ -23,11 +23,17 @@ type sessionState struct {
 	backend   string
 	remote    string
 	started   time.Time
+	// version is the registry version the session was admitted on;
+	// shadowVersion is the canary candidate shadow-judging this session's
+	// traffic (0 when the admission fell outside the canary slice).
+	version       int64
+	shadowVersion int64
 
-	chunks     atomic.Int64
-	traceBytes atomic.Int64
-	judged     atomic.Int64
-	lastActive atomic.Int64 // unix nanoseconds of the last chunk/judgment
+	chunks       atomic.Int64
+	traceBytes   atomic.Int64
+	judged       atomic.Int64
+	shadowJudged atomic.Int64
+	lastActive   atomic.Int64 // unix nanoseconds of the last chunk/judgment
 }
 
 func (st *sessionState) touch() {
@@ -36,16 +42,19 @@ func (st *sessionState) touch() {
 
 // SessionInfo is one live session's introspection snapshot.
 type SessionInfo struct {
-	ID           string    `json:"id"`
-	Benchmark    string    `json:"benchmark"`
-	Model        string    `json:"model"`
-	Backend      string    `json:"backend"`
-	Remote       string    `json:"remote"`
-	StartedAt    time.Time `json:"started_at"`
-	Chunks       int64     `json:"chunks"`
-	TraceBytes   int64     `json:"trace_bytes"`
-	Judged       int64     `json:"judged"`
-	LastActivity time.Time `json:"last_activity"`
+	ID            string    `json:"id"`
+	Benchmark     string    `json:"benchmark"`
+	Model         string    `json:"model"`
+	Backend       string    `json:"backend"`
+	Remote        string    `json:"remote"`
+	StartedAt     time.Time `json:"started_at"`
+	ModelVersion  int64     `json:"model_version"`
+	ShadowVersion int64     `json:"shadow_version,omitempty"`
+	Chunks        int64     `json:"chunks"`
+	TraceBytes    int64     `json:"trace_bytes"`
+	Judged        int64     `json:"judged"`
+	ShadowJudged  int64     `json:"shadow_judged,omitempty"`
+	LastActivity  time.Time `json:"last_activity"`
 }
 
 // Sessions snapshots every live session, sorted by ID for stable output.
@@ -59,16 +68,19 @@ func (s *Server) Sessions() []SessionInfo {
 	out := make([]SessionInfo, 0, len(states))
 	for _, st := range states {
 		out = append(out, SessionInfo{
-			ID:           st.id,
-			Benchmark:    st.benchmark,
-			Model:        st.model,
-			Backend:      st.backend,
-			Remote:       st.remote,
-			StartedAt:    st.started,
-			Chunks:       st.chunks.Load(),
-			TraceBytes:   st.traceBytes.Load(),
-			Judged:       st.judged.Load(),
-			LastActivity: time.Unix(0, st.lastActive.Load()),
+			ID:            st.id,
+			Benchmark:     st.benchmark,
+			Model:         st.model,
+			Backend:       st.backend,
+			Remote:        st.remote,
+			StartedAt:     st.started,
+			ModelVersion:  st.version,
+			ShadowVersion: st.shadowVersion,
+			Chunks:        st.chunks.Load(),
+			TraceBytes:    st.traceBytes.Load(),
+			Judged:        st.judged.Load(),
+			ShadowJudged:  st.shadowJudged.Load(),
+			LastActivity:  time.Unix(0, st.lastActive.Load()),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

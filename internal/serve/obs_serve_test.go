@@ -30,8 +30,8 @@ func TestObservabilityIsObservationOnly(t *testing.T) {
 		wall   *obs.WallTracer
 		flight *obs.FlightRecorder
 	}
-	run := func(cfg Config, st *obsState) []Judgment {
-		srv := NewServer(cfg)
+	run := func(opts []Option, st *obsState) []Judgment {
+		srv := New(nil, opts...)
 		srv.Deploy(dep)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -66,7 +66,7 @@ func TestObservabilityIsObservationOnly(t *testing.T) {
 		}
 		return js
 	}
-	observed := func(base Config) (Config, *obsState) {
+	observed := func(base []Option) ([]Option, *obsState) {
 		st := &obsState{
 			log:    &bytes.Buffer{},
 			wall:   obs.NewWallTracer(),
@@ -76,26 +76,28 @@ func TestObservabilityIsObservationOnly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base.Telemetry = obs.NewMetricsOnly()
-		base.Logger = logger
-		base.WallTracer = st.wall
-		base.Flight = st.flight
-		return base, st
+		opts := append(append([]Option(nil), base...),
+			WithTelemetry(obs.NewMetricsOnly()),
+			WithLogger(logger),
+			WithWallTracer(st.wall),
+			WithFlight(st.flight),
+		)
+		return opts, st
 	}
 
 	for _, mode := range []struct {
 		name string
-		cfg  Config
+		opts []Option
 	}{
-		{"unbatched", Config{}},
-		{"batched", Config{BatchWindow: 100 * time.Microsecond, BatchMax: 8}},
+		{"unbatched", nil},
+		{"batched", []Option{WithBatching(100*time.Microsecond, 8)}},
 	} {
-		plain := run(mode.cfg, nil)
+		plain := run(mode.opts, nil)
 		if len(plain) == 0 {
 			t.Fatalf("%s: no judgments; lengthen the fixture", mode.name)
 		}
-		obsCfg, st := observed(mode.cfg)
-		full := run(obsCfg, st)
+		obsOpts, st := observed(mode.opts)
+		full := run(obsOpts, st)
 		compareJudgments(t, mode.name+" observed vs plain", full, plain)
 	}
 }
@@ -110,14 +112,13 @@ func TestDebugEndpointsConcurrentWithDrain(t *testing.T) {
 	short := stream[:len(stream)/8]
 
 	tel := obs.NewMetricsOnly()
-	srv := NewServer(Config{
-		Workers:     2,
-		BatchWindow: 100 * time.Microsecond,
-		BatchMax:    8,
-		Telemetry:   tel,
-		Flight:      obs.NewFlightRecorder(0, 0),
-		WallTracer:  obs.NewWallTracer(),
-	})
+	srv := New(nil,
+		WithWorkers(2),
+		WithBatching(100*time.Microsecond, 8),
+		WithTelemetry(tel),
+		WithFlight(obs.NewFlightRecorder(0, 0)),
+		WithWallTracer(obs.NewWallTracer()),
+	)
 	srv.Deploy(dep)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -238,7 +239,7 @@ func TestDebugEndpointsConcurrentWithDrain(t *testing.T) {
 // (no session_id) fall back to the legacy field.
 func TestWelcomeSessionIDBackCompat(t *testing.T) {
 	dep, stream := fixtures(t)
-	addr := startServer(t, Config{}, dep)
+	addr := startServer(t, nil, dep)
 	c, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +287,7 @@ func TestFlightRecorderDumpsOnProtocolError(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := NewServer(Config{Flight: flight, Logger: logger})
+	srv := New(nil, WithFlight(flight), WithLogger(logger))
 	srv.Deploy(dep)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

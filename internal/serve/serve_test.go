@@ -74,9 +74,9 @@ func captureTrace(p workload.Profile, instr int64) ([]byte, error) {
 
 // startServer runs a server over dep on a loopback listener and returns its
 // address; the server is shut down with the test.
-func startServer(t *testing.T, cfg Config, deps ...*core.Deployment) string {
+func startServer(t *testing.T, opts []Option, deps ...*core.Deployment) string {
 	t.Helper()
-	srv := NewServer(cfg)
+	srv := New(nil, opts...)
 	for _, d := range deps {
 		srv.Deploy(d)
 	}
@@ -161,7 +161,7 @@ func streamChunks(t *testing.T, c *Client, stream []byte, chunk int) *Summary {
 // summary of the in-process Session path, for every inference backend.
 func TestE2EBitIdenticalAcrossBackends(t *testing.T) {
 	dep, stream := fixtures(t)
-	addr := startServer(t, Config{}, dep)
+	addr := startServer(t, nil, dep)
 	for _, backend := range []string{
 		kernels.BackendGPU, kernels.BackendNative, kernels.BackendNativeCalibrated,
 	} {
@@ -212,7 +212,7 @@ func TestE2EBitIdenticalAcrossBackends(t *testing.T) {
 func TestChunkingInvariance(t *testing.T) {
 	dep, stream := fixtures(t)
 	short := stream[:len(stream)/8]
-	addr := startServer(t, Config{}, dep)
+	addr := startServer(t, nil, dep)
 
 	run := func(chunk int) []Judgment {
 		c, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil)
@@ -242,7 +242,7 @@ func TestChunkingInvariance(t *testing.T) {
 func TestConcurrentClients(t *testing.T) {
 	dep, stream := fixtures(t)
 	short := stream[:len(stream)/4]
-	addr := startServer(t, Config{Workers: 4}, dep)
+	addr := startServer(t, []Option{WithWorkers(4)}, dep)
 
 	ref, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil)
 	if err != nil {
@@ -307,7 +307,7 @@ func TestConcurrentClients(t *testing.T) {
 func TestBusyRejection(t *testing.T) {
 	dep, stream := fixtures(t)
 	tel := obs.NewMetricsOnly()
-	addr := startServer(t, Config{MaxSessions: 1, Telemetry: tel}, dep)
+	addr := startServer(t, []Option{WithMaxSessions(1), WithTelemetry(tel)}, dep)
 
 	c1, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil)
 	if err != nil {
@@ -355,7 +355,7 @@ func TestGracefulShutdown(t *testing.T) {
 	dep, stream := fixtures(t)
 	short := stream[:len(stream)/8]
 
-	srv := NewServer(Config{})
+	srv := New(nil)
 	srv.Deploy(dep)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -418,7 +418,7 @@ func TestGracefulShutdown(t *testing.T) {
 // TestHelloRejections covers the negotiation error paths.
 func TestHelloRejections(t *testing.T) {
 	dep, _ := fixtures(t)
-	addr := startServer(t, Config{}, dep)
+	addr := startServer(t, nil, dep)
 	cases := []struct {
 		name  string
 		hello Hello
@@ -447,7 +447,7 @@ func TestServeMetrics(t *testing.T) {
 	dep, stream := fixtures(t)
 	short := stream[:len(stream)/8]
 	tel := obs.NewMetricsOnly()
-	addr := startServer(t, Config{Telemetry: tel}, dep)
+	addr := startServer(t, []Option{WithTelemetry(tel)}, dep)
 
 	c, err := Dial(addr, Hello{Benchmark: fixBench, Model: "lstm"}, nil)
 	if err != nil {

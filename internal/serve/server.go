@@ -13,6 +13,7 @@ import (
 	"rtad/internal/core"
 	"rtad/internal/kernels"
 	"rtad/internal/obs"
+	"rtad/internal/registry"
 )
 
 // Config sizes and paces a Server. The zero value is usable: unlimited
@@ -102,8 +103,13 @@ var ServeSecondsBuckets = obs.ExpBuckets(1e-6, 2, 26)
 // bit-identical judgment streams to a solo in-process run over the same
 // bytes.
 type Server struct {
-	cfg   Config
-	deps  map[string]*core.Deployment // "benchmark/model" -> deployment
+	cfg Config
+	// reg is the versioned model registry behind admission: a session is
+	// welcomed on the newest promoted version of its key and holds exactly
+	// that version until it ends, which is the whole zero-downtime story —
+	// Promote moves new admissions atomically while in-flight streams stay
+	// byte-for-byte on the weights that welcomed them.
+	reg   *registry.Registry
 	pool  *core.Fleet
 	batch *batcher // nil when BatchWindow is 0 (unbatched path)
 	// calib is the server-wide cycle-cost table shared by every session's
@@ -146,9 +152,16 @@ type Server struct {
 	mE2ESec   *obs.Histogram // chunk read off the socket -> its last judgment written
 }
 
-// NewServer builds a server over cfg. Deployments are registered with
-// Deploy before Serve.
-func NewServer(cfg Config) *Server {
+// NewServer builds a server over cfg with its own empty registry.
+// Deployments are registered with Deploy before Serve.
+//
+// Deprecated: use New with a *registry.Registry and functional options;
+// NewServer survives as a compatibility shim over it.
+func NewServer(cfg Config) *Server { return newServer(nil, cfg) }
+
+// newServer is the one construction path behind New and the NewServer
+// shim. A nil reg gets a fresh empty registry.
+func newServer(reg *registry.Registry, cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
@@ -171,9 +184,15 @@ func NewServer(cfg Config) *Server {
 	if cfg.BatchWindow > 0 {
 		batch = newBatcher(cfg.BatchWindow, cfg.BatchMax, tel, cfg.WallTracer)
 	}
+	if reg == nil {
+		reg = registry.New()
+	}
+	if tel != nil {
+		reg.Observe(tel)
+	}
 	return &Server{
 		cfg:        cfg,
-		deps:       map[string]*core.Deployment{},
+		reg:        reg,
 		pool:       core.NewFleet(cfg.Workers),
 		batch:      batch,
 		calib:      kernels.NewCalibration(),
@@ -197,44 +216,32 @@ func NewServer(cfg Config) *Server {
 	}
 }
 
-// Deploy registers a trained deployment under benchmark/model. The
-// deployment must not be mutated afterwards — every admitted session reads
-// it concurrently.
+// Deploy registers a trained deployment under benchmark/model and promotes
+// it active immediately — the bootstrap path for models loaded before
+// Serve. The deployment must not be mutated afterwards — every admitted
+// session reads it concurrently. For the staged load → canary → promote
+// lifecycle, register through Registry() (or the /debug/models admin
+// endpoints) instead.
 func (s *Server) Deploy(dep *core.Deployment) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.deps[depKey(dep.Profile.Name, modelName(dep.Kind))] = dep
+	v, err := s.reg.Register(dep, registry.Meta{Origin: "deploy"})
+	if err != nil {
+		s.log.Error("serve: deploy rejected", "err", err)
+		return
+	}
+	if err := s.reg.Promote(v.Key(), v.ID()); err != nil {
+		s.log.Error("serve: deploy promotion failed", "model", v.Key(), "version", v.ID(), "err", err)
+	}
 }
 
-// Models lists the registered benchmark/model keys, sorted lexically.
-func (s *Server) Models() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.deps))
-	for k := range s.deps {
-		out = append(out, k)
-	}
-	sortStrings(out)
-	return out
-}
+// Registry exposes the server's model registry — the handle admin surfaces
+// use to load, canary, promote and retire versions while the server runs.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Models lists the benchmark/model keys with an active version — the set a
+// hello can currently be admitted on — sorted lexically.
+func (s *Server) Models() []string { return s.reg.ActiveKeys() }
 
 func depKey(bench, model string) string { return bench + "/" + model }
-
-func modelName(k core.ModelKind) string {
-	if k == core.ModelELM {
-		return "elm"
-	}
-	return "lstm"
-}
-
-// sortStrings is a dependency-free insertion sort (the model list is tiny).
-func sortStrings(a []string) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
-}
 
 // Serve accepts connections on ln until Shutdown (or a fatal listener
 // error). It blocks; run it in a goroutine when the caller also handles
@@ -372,16 +379,15 @@ func (s *Server) handle(conn net.Conn) {
 		s.refuse(conn, ErrBusy, fmt.Sprintf("all %d sessions in use", s.cfg.MaxSessions))
 		return
 	}
-	dep, ok := s.deps[depKey(hello.Benchmark, hello.Model)]
-	if !ok {
-		avail := make([]string, 0, len(s.deps))
-		for k := range s.deps {
-			avail = append(avail, k)
-		}
+	// Acquire pins this session to the key's active version (and carves the
+	// canary slice) while s.mu still serialises admissions, so the version
+	// a session holds is exactly the newest promotion at its admission
+	// instant.
+	ver, shadowVer, err := s.reg.Acquire(depKey(hello.Benchmark, hello.Model))
+	if err != nil {
 		s.mu.Unlock()
-		sortStrings(avail)
 		s.refuse(conn, ErrBadHello, fmt.Sprintf("no deployment %s/%s (have: %s)",
-			hello.Benchmark, hello.Model, strings.Join(avail, ", ")))
+			hello.Benchmark, hello.Model, strings.Join(s.reg.ActiveKeys(), ", ")))
 		return
 	}
 	s.live++
@@ -396,14 +402,20 @@ func (s *Server) handle(conn net.Conn) {
 	admitted := false
 	defer func() {
 		if !admitted {
-			s.endSession(id)
+			s.endSession(id, ver, shadowVer)
 		}
 	}()
 
-	sess, welcome, err := s.openSession(id, dep, hello)
+	sess, shadow, welcome, err := s.openSession(id, ver, shadowVer, hello)
 	if err != nil {
 		s.refuse(conn, ErrBadHello, err.Error())
 		return
+	}
+	if shadow == nil && shadowVer != nil {
+		// The shadow lane failed to open; the client session proceeds
+		// unshadowed (openSession already logged why).
+		s.reg.Release(shadowVer)
+		shadowVer = nil
 	}
 	if err := s.writeFrame(conn, FrameWelcome, welcome); err != nil {
 		conn.Close()
@@ -416,6 +428,10 @@ func (s *Server) handle(conn net.Conn) {
 	state := &sessionState{
 		id: id, benchmark: hello.Benchmark, model: hello.Model,
 		backend: welcome.Backend, remote: remote, started: time.Now(),
+		version: ver.ID(),
+	}
+	if shadowVer != nil {
+		state.shadowVersion = shadowVer.ID()
 	}
 	state.touch()
 	s.mu.Lock()
@@ -427,13 +443,16 @@ func (s *Server) handle(conn net.Conn) {
 	wall := s.cfg.WallTracer.Track("serve", id)
 	wall.Since("admission", admitStart, map[string]any{
 		obs.SessionKey: id, "benchmark": hello.Benchmark, "model": hello.Model,
+		"model_version": ver.ID(),
 	})
 	log.Info("serve: session open",
 		"benchmark", hello.Benchmark, "model", hello.Model,
-		"backend", welcome.Backend, "remote", remote)
+		"backend", welcome.Backend, "remote", remote,
+		"model_version", ver.ID(), "shadow_version", state.shadowVersion)
 	flight.Record(id, "open", map[string]any{
 		"benchmark": hello.Benchmark, "model": hello.Model,
 		"backend": welcome.Backend, "remote": remote,
+		"model_version": ver.ID(), "shadow_version": state.shadowVersion,
 	})
 
 	// The bounded chunk queue between this reader and the runner. The
@@ -442,7 +461,8 @@ func (s *Server) handle(conn net.Conn) {
 	var shed atomic.Int64
 
 	r := &runner{srv: s, id: id, conn: conn, sess: sess, q: q, shed: &shed,
-		log: log, state: state, wall: wall}
+		log: log, state: state, wall: wall,
+		ver: ver, shadowVer: shadowVer, shadow: shadow}
 	s.pool.Go(r.run)
 
 	// Reader loop: frames in, chunks queued. Exiting closes q, which is the
@@ -497,14 +517,20 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // endSession decrements the live count (and its gauge), retires the
-// introspection row, and marks the flight-recorder ring evictable —
-// exactly once per admitted-or-aborted session.
-func (s *Server) endSession(id string) {
+// introspection row, releases the session's registry holds (the admitted
+// version plus any canary shadow), and marks the flight-recorder ring
+// evictable — exactly once per admitted-or-aborted session. Releasing the
+// holds is what lets a retired version finally leave the registry once its
+// last in-flight session finishes.
+func (s *Server) endSession(id string, held ...*registry.Version) {
 	s.mu.Lock()
 	s.live--
 	live := s.live
 	delete(s.states, id)
 	s.mu.Unlock()
+	for _, v := range held {
+		s.reg.Release(v) // nil-safe
+	}
 	s.mLive.Set(int64(live))
 	s.cfg.Flight.End(id)
 	s.sessions.Done()
@@ -524,9 +550,15 @@ func (s *Server) dumpFlight(log *slog.Logger, id string) {
 	log.Error("serve: flight recorder dump", "events", len(events), "ring", json.RawMessage(blob))
 }
 
-// openSession validates the negotiable parts of hello against the chosen
-// deployment and opens the trace-replay core session.
-func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*core.Session, *Welcome, error) {
+// openSession validates the negotiable parts of hello against the admitted
+// version's deployment and opens the trace-replay core session — plus, when
+// the admission fell into the canary slice, a shadow session on the
+// candidate version with the identical configuration (same backend, gap,
+// stride, attack, calibration table, batching wrap), so the two judge
+// exactly the same replayed stream. A shadow that fails to open is logged
+// and dropped (shadow == nil); it never fails the client session.
+func (s *Server) openSession(id string, ver, shadowVer *registry.Version, hello *Hello) (sess, shadow *core.Session, welcome *Welcome, err error) {
+	dep := ver.Deployment()
 	backend := hello.Backend
 	if backend == "" {
 		backend = kernels.BackendGPU
@@ -534,10 +566,10 @@ func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*co
 	switch backend {
 	case kernels.BackendGPU, kernels.BackendNative, kernels.BackendNativeCalibrated:
 	default:
-		return nil, nil, fmt.Errorf("unknown backend %q", hello.Backend)
+		return nil, nil, nil, fmt.Errorf("unknown backend %q", hello.Backend)
 	}
 	if hello.Window != 0 && hello.Window != dep.Window() {
-		return nil, nil, fmt.Errorf("window mismatch: client expects %d, %s/%s judges %d-windows",
+		return nil, nil, nil, fmt.Errorf("window mismatch: client expects %d, %s/%s judges %d-windows",
 			hello.Window, hello.Benchmark, hello.Model, dep.Window())
 	}
 	gap := hello.GapCycles
@@ -548,7 +580,7 @@ func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*co
 		gap = core.DefaultReplayGap
 	}
 	if hello.Stride < 0 {
-		return nil, nil, fmt.Errorf("stride must be non-negative, got %d", hello.Stride)
+		return nil, nil, nil, fmt.Errorf("stride must be non-negative, got %d", hello.Stride)
 	}
 	stride := hello.Stride
 	if stride == 0 {
@@ -558,43 +590,55 @@ func (s *Server) openSession(id string, dep *core.Deployment, hello *Hello) (*co
 			stride = core.DefaultLSTMStride
 		}
 	}
-	opts := []core.Option{
-		core.WithConfig(core.PipelineConfig{
-			CUs: hello.CUs, Backend: backend, Stride: stride,
-			Calibration: s.calib, StagedTrace: s.cfg.StagedTrace,
-		}),
-		core.WithTraceInput(gap),
-	}
-	if s.batch != nil {
-		opts = append(opts, core.WithEngineWrap(s.batch.wrap))
-	}
-	if a := hello.Attack; a != nil {
-		if a.BurstLen <= 0 {
-			return nil, nil, fmt.Errorf("attack burst_len must be positive, got %d", a.BurstLen)
+	open := func(d *core.Deployment) (*core.Session, error) {
+		opts := []core.Option{
+			core.WithConfig(core.PipelineConfig{
+				CUs: hello.CUs, Backend: backend, Stride: stride,
+				Calibration: s.calib, StagedTrace: s.cfg.StagedTrace,
+			}),
+			core.WithTraceInput(gap),
 		}
-		opts = append(opts, core.WithAttack(core.AttackSpec{
-			TriggerBranch: a.TriggerBranch,
-			BurstLen:      a.BurstLen,
-			Mimicry:       a.Mimicry,
-			Seed:          a.Seed,
-		}))
+		if s.batch != nil {
+			opts = append(opts, core.WithEngineWrap(s.batch.wrap))
+		}
+		if a := hello.Attack; a != nil {
+			if a.BurstLen <= 0 {
+				return nil, fmt.Errorf("attack burst_len must be positive, got %d", a.BurstLen)
+			}
+			opts = append(opts, core.WithAttack(core.AttackSpec{
+				TriggerBranch: a.TriggerBranch,
+				BurstLen:      a.BurstLen,
+				Mimicry:       a.Mimicry,
+				Seed:          a.Seed,
+			}))
+		}
+		return core.Open(core.Deployments{d}, opts...)
 	}
-	sess, err := core.Open(core.Deployments{dep}, opts...)
+	sess, err = open(dep)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	welcome := &Welcome{
-		Proto:     Proto,
-		Session:   id,
-		SessionID: id,
-		Benchmark: hello.Benchmark,
-		Model:     hello.Model,
-		Backend:   backend,
-		Window:    dep.Window(),
-		GapCycles: gap,
-		Stride:    stride,
+	if shadowVer != nil {
+		shadow, err = open(shadowVer.Deployment())
+		if err != nil {
+			s.log.Warn("serve: canary shadow failed to open, session proceeds unshadowed",
+				obs.SessionKey, id, "model", ver.Key(), "candidate_version", shadowVer.ID(), "err", err)
+			shadow, err = nil, nil
+		}
 	}
-	return sess, welcome, nil
+	welcome = &Welcome{
+		Proto:        Proto,
+		Session:      id,
+		SessionID:    id,
+		Benchmark:    hello.Benchmark,
+		Model:        hello.Model,
+		Backend:      backend,
+		Window:       dep.Window(),
+		GapCycles:    gap,
+		Stride:       stride,
+		ModelVersion: ver.ID(),
+	}
+	return sess, shadow, welcome, nil
 }
 
 // refuse writes one error frame and closes the connection — the pre-session
@@ -639,6 +683,18 @@ type runner struct {
 	log   *slog.Logger
 	state *sessionState
 	wall  *obs.WallTrack
+
+	// Registry holds: ver is the version the session was admitted on (its
+	// judgments and anomaly counts tally against it); shadowVer is the
+	// canary candidate when this admission fell in the canary slice. Both
+	// are released by endSession.
+	ver       *registry.Version
+	shadowVer *registry.Version
+	// shadow is the candidate's invisible session over the same trace
+	// bytes. Its judgments feed the registry's per-version delta — never
+	// the socket — and a shadow failure nils it without touching the
+	// client session.
+	shadow *core.Session
 }
 
 // run executes the session to completion. A panic anywhere in the
@@ -647,7 +703,7 @@ type runner struct {
 // error, and the server keeps serving.
 func (r *runner) run() error {
 	s := r.srv
-	defer s.endSession(r.id)
+	defer s.endSession(r.id, r.ver, r.shadowVer)
 	defer r.conn.Close()
 	// The reader blocks sending into q when the queue policy is block; keep
 	// draining after exit so it can always make progress to its own close.
@@ -668,11 +724,17 @@ func (r *runner) run() error {
 	// The producer brackets tell the batching coordinator when this runner
 	// is inside a chunk — the only stretches where it can park a vector.
 	// Socket writes and queue waits stay outside so a stalled client never
-	// holds a batch open.
+	// holds a batch open. The shadow session is fed the same bytes inside
+	// the same bracket, sequentially after the primary, so a canary's
+	// inference rides the same micro-batches as live traffic.
 	feed := func(data []byte) error {
 		s.batch.producerUp()
 		defer s.batch.producerDown()
-		return r.sess.FeedTrace(data)
+		if err := r.sess.FeedTrace(data); err != nil {
+			return err
+		}
+		r.feedShadow(data)
+		return nil
 	}
 	var judgBuf []byte
 	sawEOS := false
@@ -691,10 +753,11 @@ func (r *runner) run() error {
 		}
 		s.mFeedSec.Observe(time.Since(feedStart).Seconds())
 		r.wall.Since("feed", feedStart, map[string]any{obs.SessionKey: r.id, "bytes": len(msg.data)})
-		wrote, err := r.flushJudgments(&judgBuf)
+		wrote, anoms, err := r.flushJudgments(&judgBuf)
 		if err != nil {
 			return nil // client gone; nothing left to deliver
 		}
+		r.collectShadow(int64(wrote), anoms)
 		if wrote > 0 {
 			// The headline serving SLO: this chunk left the socket at
 			// msg.at; its last judgment is on the wire now.
@@ -714,7 +777,11 @@ func (r *runner) run() error {
 		defer s.batch.producerDown()
 		drainStart := time.Now()
 		defer r.wall.Since("drain", drainStart, map[string]any{obs.SessionKey: r.id})
-		return r.sess.Drain()
+		if err := r.sess.Drain(); err != nil {
+			return err
+		}
+		r.drainShadow()
+		return nil
 	}()
 	if err != nil {
 		s.cfg.Flight.Record(r.id, "error", map[string]any{"err": err.Error()})
@@ -723,9 +790,11 @@ func (r *runner) run() error {
 		r.writeError(ErrInternal, err.Error())
 		return fmt.Errorf("serve: %s drain: %w", r.id, err)
 	}
-	if _, err := r.flushJudgments(&judgBuf); err != nil {
+	wrote, anoms, err := r.flushJudgments(&judgBuf)
+	if err != nil {
 		return nil
 	}
+	r.collectShadow(int64(wrote), anoms)
 	sum := r.summary()
 	if err := s.writeFrame(r.conn, FrameSummary, sum); err != nil {
 		return nil
@@ -739,17 +808,22 @@ func (r *runner) run() error {
 }
 
 // flushJudgments sends every newly delivered judgment, in delivery (time)
-// order. The frames are assembled back to back in buf and written with one
-// syscall — a chunk typically yields a burst of judgments, and per-frame
-// writes would make the socket the hot path at serving rates. The byte
-// stream is identical to writing each frame alone.
-func (r *runner) flushJudgments(buf *[]byte) (int, error) {
+// order, and tallies the burst (count and anomalies) against the session's
+// registry version. The frames are assembled back to back in buf and
+// written with one syscall — a chunk typically yields a burst of judgments,
+// and per-frame writes would make the socket the hot path at serving rates.
+// The byte stream is identical to writing each frame alone.
+func (r *runner) flushJudgments(buf *[]byte) (int, int64, error) {
 	res := r.sess.Results()
 	if len(res) == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	*buf = (*buf)[:0]
+	var anoms int64
 	for _, j := range res {
+		if j.Rec.Judgment.Anomaly {
+			anoms++
+		}
 		*buf = appendJudgmentFrame(*buf, Judgment{
 			Seq:         j.Vector.Seq,
 			Done:        int64(j.Rec.Done),
@@ -763,16 +837,76 @@ func (r *runner) flushJudgments(buf *[]byte) (int, error) {
 	r.conn.SetWriteDeadline(time.Now().Add(r.srv.cfg.WriteTimeout))
 	writeStart := time.Now()
 	if _, err := r.conn.Write(*buf); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	r.srv.mWriteSec.Observe(time.Since(writeStart).Seconds())
 	r.wall.Since("judgment_write", writeStart,
 		map[string]any{obs.SessionKey: r.id, "judgments": len(res)})
 	r.srv.mJudgments.Add(int64(len(res)))
+	r.srv.reg.RecordJudgments(r.ver, int64(len(res)), anoms)
 	r.state.judged.Add(int64(len(res)))
 	r.state.touch()
 	r.srv.cfg.Flight.Record(r.id, "judgments", map[string]any{"count": len(res)})
-	return len(res), nil
+	return len(res), anoms, nil
+}
+
+// feedShadow replays the chunk into the canary shadow session. A shadow
+// failure is confined to the shadow: it is logged, flight-recorded, and the
+// shadow lane is dropped for the rest of the session — the client stream is
+// never touched.
+func (r *runner) feedShadow(data []byte) {
+	if r.shadow == nil {
+		return
+	}
+	if err := r.shadow.FeedTrace(data); err != nil {
+		r.dropShadow("feed", err)
+	}
+}
+
+// drainShadow finishes the shadow session at end-of-stream (inside the
+// same producer bracket as the primary drain).
+func (r *runner) drainShadow() {
+	if r.shadow == nil {
+		return
+	}
+	if err := r.shadow.Drain(); err != nil {
+		r.dropShadow("drain", err)
+	}
+}
+
+func (r *runner) dropShadow(stage string, err error) {
+	r.srv.cfg.Flight.Record(r.id, "shadow-error", map[string]any{"stage": stage, "err": err.Error()})
+	r.log.Warn("serve: canary shadow dropped, session continues unshadowed",
+		"stage", stage, "candidate_version", r.shadowVer.ID(), "err", err)
+	r.shadow = nil
+}
+
+// collectShadow drains the shadow session's newly judged vectors into the
+// registry's canary tally, paired with the primary burst judged over the
+// same bytes (the baseline side of the anomaly-rate delta). Shadow
+// judgments end here by construction — nothing on this path writes to the
+// connection.
+func (r *runner) collectShadow(baseJudged, baseAnoms int64) {
+	if r.shadow == nil {
+		return
+	}
+	res := r.shadow.Results()
+	if len(res) == 0 && baseJudged == 0 {
+		return
+	}
+	var anoms int64
+	for _, j := range res {
+		if j.Rec.Judgment.Anomaly {
+			anoms++
+		}
+	}
+	r.srv.reg.RecordShadow(r.shadowVer, int64(len(res)), anoms, baseJudged, baseAnoms)
+	r.state.shadowJudged.Add(int64(len(res)))
+	if len(res) > 0 {
+		r.srv.cfg.Flight.Record(r.id, "shadow", map[string]any{
+			"count": len(res), "candidate_version": r.shadowVer.ID(),
+		})
+	}
 }
 
 // summary assembles the end-of-stream summary from the drained session.

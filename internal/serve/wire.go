@@ -179,6 +179,14 @@ type Welcome struct {
 	Window    int    `json:"window"`
 	GapCycles int64  `json:"gap_cycles"`
 	Stride    int    `json:"stride,omitempty"`
+	// ModelVersion is the registry version id of the deployment this
+	// session was admitted on. The session judges on exactly this version
+	// for its whole life, hot-swaps notwithstanding — the field is how a
+	// client proves which weights judged its stream. Another pure JSON
+	// addition (like SessionID): old clients ignore it, pre-registry
+	// servers omit it, no wire version bump. Read it via
+	// Client.ModelVersion, which reports 0 for old servers.
+	ModelVersion int64 `json:"model_version,omitempty"`
 }
 
 // Error codes carried by FrameError.
